@@ -1,0 +1,93 @@
+(* fastrak_sim: command-line driver for the reproduction experiments.
+
+   fastrak_sim list
+   fastrak_sim run fig3 table4 ...        (any subset)
+   fastrak_sim run all --scale 0.05       (scaled finish-time runs) *)
+
+open Cmdliner
+
+let experiments =
+  [
+    ("fig3", "Figure 3: baseline network performance microbenchmarks");
+    ("fig4", "Figure 4: CPU overheads");
+    ("fig5", "Figure 5: combined functionality");
+    ("table1", "Table 1: memcached TPS, with/without background");
+    ("table2", "Table 2: finish times vs %VIF");
+    ("table3", "Table 3: finish times with scp background");
+    ("table4", "Table 4: FasTrak end-to-end");
+    ("fig12", "Figure 12: TCP progression across flow migration");
+    ("ablation", "Ablations: scoring policy, TCAM budget, control interval");
+  ]
+
+let run_one = function
+  | "fig3" ->
+      Experiments.Microbench.print_points ~title:"Figure 3 (measured)"
+        (Experiments.Microbench.run_fig3 ())
+  | "fig4" ->
+      Experiments.Cpu_overhead.print_points ~title:"Figure 4(a) (measured)"
+        (Experiments.Cpu_overhead.run_fig4a ());
+      Experiments.Cpu_overhead.print_points ~title:"Figure 4(b) (measured)"
+        (Experiments.Cpu_overhead.run_fig4b ())
+  | "fig5" ->
+      Experiments.Microbench.print_points ~title:"Figure 5 (measured)"
+        (Experiments.Microbench.run_fig5 ())
+  | "table1" ->
+      Experiments.Paper_ref.print_table1 ();
+      Experiments.Memcached_eval.print_rows ~title:"Table 1 (measured)"
+        (Experiments.Memcached_eval.run_table1 ())
+  | "table2" ->
+      Experiments.Paper_ref.print_table2 ();
+      Experiments.Memcached_eval.print_rows ~title:"Table 2 (measured)"
+        (Experiments.Memcached_eval.run_table2 ())
+  | "table3" ->
+      Experiments.Paper_ref.print_table3 ();
+      Experiments.Memcached_eval.print_rows ~title:"Table 3 (measured)"
+        (Experiments.Memcached_eval.run_table3 ())
+  | "table4" ->
+      Experiments.Paper_ref.print_table4 ();
+      Experiments.Fastrak_eval.print (Experiments.Fastrak_eval.run ())
+  | "fig12" -> Experiments.Migration_tcp.print (Experiments.Migration_tcp.run ())
+  | "ablation" ->
+      Experiments.Ablation.print_scoring (Experiments.Ablation.run_scoring ());
+      Experiments.Ablation.print_tcam
+        (Experiments.Ablation.run_tcam ~capacities:[ 2; 6; 12; 24; 2048 ] ());
+      Experiments.Ablation.print_interval
+        (Experiments.Ablation.run_interval ~epochs:[ 0.05; 0.1; 0.25; 0.5 ] ())
+  | other -> Printf.eprintf "unknown experiment %S (try `list`)\n" other
+
+let list_cmd =
+  let doc = "List available experiments" in
+  Cmd.v (Cmd.info "list" ~doc)
+    Term.(
+      const (fun () ->
+          List.iter (fun (id, d) -> Printf.printf "  %-10s %s\n" id d) experiments)
+      $ const ())
+
+let run_cmd =
+  let doc = "Run one or more experiments ('all' for everything)" in
+  let ids =
+    Arg.(non_empty & pos_all string [] & info [] ~docv:"EXPERIMENT")
+  in
+  let scale =
+    Arg.(
+      value
+      & opt float 0.05
+      & info [ "scale" ] ~docv:"FRACTION"
+          ~doc:
+            "Fraction of the paper's 2M requests/client used by the \
+             finish-time experiments (finish times are normalised back).")
+  in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(
+      const (fun scale ids ->
+          Experiments.Memcached_eval.requests_scale := scale;
+          let ids =
+            if List.mem "all" ids then List.map fst experiments else ids
+          in
+          List.iter run_one ids)
+      $ scale $ ids)
+
+let () =
+  let doc = "FasTrak (CoNEXT 2013) reproduction simulator" in
+  exit (Cmd.eval (Cmd.group (Cmd.info "fastrak_sim" ~version:"1.0" ~doc)
+                    [ list_cmd; run_cmd ]))

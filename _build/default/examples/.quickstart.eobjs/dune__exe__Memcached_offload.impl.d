@@ -1,0 +1,1 @@
+examples/memcached_offload.ml: Array Dcsim Experiments Fastrak Host List Printf Workloads

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Experiments Host Printf Workloads

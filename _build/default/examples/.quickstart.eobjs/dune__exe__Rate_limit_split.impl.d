@@ -1,0 +1,1 @@
+examples/rate_limit_split.ml: Array Dcsim Experiments Fastrak Format Host Netcore Nic Printf Rules Tor Vswitch Workloads

@@ -1,0 +1,1 @@
+examples/vm_migration.ml: Array Dcsim Experiments Fastrak Host Printf Workloads

@@ -1,0 +1,1 @@
+lib/compute/cost_params.ml: Dcsim Float Format List Netcore Stdlib String

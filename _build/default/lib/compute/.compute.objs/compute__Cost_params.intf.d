@@ -1,0 +1,1 @@
+lib/compute/cost_params.mli: Dcsim Format

@@ -1,0 +1,1 @@
+lib/compute/cpu_pool.mli: Dcsim

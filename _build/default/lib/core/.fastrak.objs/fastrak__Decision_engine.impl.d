@@ -1,0 +1,1 @@
+lib/core/decision_engine.ml: Float Hashtbl List Netcore Option

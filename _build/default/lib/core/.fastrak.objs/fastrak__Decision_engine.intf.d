@@ -1,0 +1,1 @@
+lib/core/decision_engine.mli: Netcore

@@ -1,0 +1,1 @@
+lib/core/demand_profile.ml: Format Hashtbl List Measurement_engine Netcore

@@ -1,0 +1,1 @@
+lib/core/demand_profile.mli: Format Measurement_engine Netcore

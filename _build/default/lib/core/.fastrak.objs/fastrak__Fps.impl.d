@@ -1,0 +1,1 @@
+lib/core/fps.ml: Float Format Rules

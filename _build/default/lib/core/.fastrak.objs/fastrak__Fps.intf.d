@@ -1,0 +1,1 @@
+lib/core/fps.mli: Format Rules

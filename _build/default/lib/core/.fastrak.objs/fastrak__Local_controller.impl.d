@@ -1,0 +1,1 @@
+lib/core/local_controller.ml: Config Dcsim Demand_profile Fps Hashtbl Host Int32 List Measurement_engine Netcore Nic Rules Vswitch

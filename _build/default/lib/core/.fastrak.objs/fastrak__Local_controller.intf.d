@@ -1,0 +1,1 @@
+lib/core/local_controller.mli: Config Dcsim Demand_profile Host Measurement_engine Netcore

@@ -1,0 +1,1 @@
+lib/core/measurement_engine.ml: Config Dcsim Hashtbl List Netcore Option

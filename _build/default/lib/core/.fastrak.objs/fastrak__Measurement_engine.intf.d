@@ -1,0 +1,1 @@
+lib/core/measurement_engine.mli: Config Dcsim Netcore

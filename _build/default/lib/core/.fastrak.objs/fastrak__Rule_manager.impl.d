@@ -1,0 +1,1 @@
+lib/core/rule_manager.ml: Config Dcsim Host List Local_controller Openflow Tor_controller

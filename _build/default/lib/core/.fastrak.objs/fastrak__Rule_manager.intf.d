@@ -1,0 +1,1 @@
+lib/core/rule_manager.mli: Config Dcsim Demand_profile Host Local_controller Netcore Tor Tor_controller

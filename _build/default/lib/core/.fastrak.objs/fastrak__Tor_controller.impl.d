@@ -1,0 +1,1 @@
+lib/core/tor_controller.ml: Config Dcsim Decision_engine Hashtbl Host List Local_controller Measurement_engine Netcore Openflow Option Rules Scoring Tor Vswitch

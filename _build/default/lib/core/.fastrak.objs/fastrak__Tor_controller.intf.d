@@ -1,0 +1,1 @@
+lib/core/tor_controller.mli: Config Dcsim Host Local_controller Netcore Openflow Tor

@@ -1,0 +1,26 @@
+module Simtime = Dcsim.Simtime
+
+type t = {
+  poll_gap : Simtime.span;
+  epoch_period : Simtime.span;
+  epochs_per_interval : int;
+  history_intervals : int;
+  overflow_bps : float;
+  controller_latency : Simtime.span;
+  max_offloads : int option;
+  min_score : float;
+}
+
+let default =
+  {
+    poll_gap = Simtime.span_ms 100.0;
+    epoch_period = Simtime.span_sec 5.0;
+    epochs_per_interval = 2;
+    history_intervals = 3;
+    overflow_bps = 50e6;
+    controller_latency = Simtime.span_us 200.0;
+    max_offloads = None;
+    min_score = 100.0;
+  }
+
+let fast = { default with epoch_period = Simtime.span_sec 0.5 }

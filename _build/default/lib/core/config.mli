@@ -1,0 +1,30 @@
+(** FasTrak controller configuration (§4.3.1, §5.2 defaults).
+
+    The measurement cadence: pps/bps are measured over a [poll_gap]
+    window ("twice within an interval of t = 100 ms"), repeated every
+    [epoch_period] (T), for [epochs_per_interval] epochs (N); every N
+    epochs is one control interval. Medians are kept over the last
+    [history_intervals] (M) control intervals. *)
+
+type t = {
+  poll_gap : Dcsim.Simtime.span;  (** t: window over which pps is measured. *)
+  epoch_period : Dcsim.Simtime.span;  (** T: epoch repetition period. *)
+  epochs_per_interval : int;  (** N. *)
+  history_intervals : int;  (** M. *)
+  overflow_bps : float;  (** O: slack added to each split rate limit. *)
+  controller_latency : Dcsim.Simtime.span;
+      (** One-way latency of controller control channels. *)
+  max_offloads : int option;
+      (** Cap on concurrently offloaded aggregates (the §6.2.1
+          experiment modifies FasTrak "to offload only one"). *)
+  min_score : float;
+      (** Offload threshold: aggregates scoring below this never move
+          to hardware (keeps trickle flows in software). *)
+}
+
+val default : t
+(** t = 100 ms, T = 5 s, N = 2, M = 3, O = 50 Mb/s, 200 us channels,
+    no offload cap, min_score 100. *)
+
+val fast : t
+(** The T = 0.5 s variant used in some experiments (§5.2). *)

@@ -1,0 +1,89 @@
+module Fkey = Netcore.Fkey
+
+type candidate = {
+  pattern : Fkey.Pattern.t;
+  tenant : Netcore.Tenant.id;
+  vm_ip : Netcore.Ipv4.t;
+  score : float;
+  tcam_entries : int;
+  group : int option;
+}
+
+type decision = {
+  offload : candidate list;
+  demote : candidate list;
+  keep : candidate list;
+}
+
+(* Group candidates into units the knapsack treats atomically: singleton
+   units for ungrouped candidates, one unit per all-or-none group. A
+   unit's score is its best member's (groups ride on their hottest
+   flow), its cost the sum. *)
+type unit_ = { members : candidate list; unit_score : float; unit_cost : int }
+
+let build_units candidates =
+  let groups : (int, candidate list) Hashtbl.t = Hashtbl.create 8 in
+  let singles =
+    List.filter
+      (fun c ->
+        match c.group with
+        | None -> true
+        | Some g ->
+            Hashtbl.replace groups g
+              (c :: Option.value (Hashtbl.find_opt groups g) ~default:[]);
+            false)
+      candidates
+  in
+  let group_units =
+    Hashtbl.fold
+      (fun _ members acc ->
+        let unit_score =
+          List.fold_left (fun m c -> Float.max m c.score) 0.0 members
+        in
+        let unit_cost = List.fold_left (fun s c -> s + c.tcam_entries) 0 members in
+        { members; unit_score; unit_cost } :: acc)
+      groups []
+  in
+  let single_units =
+    List.map
+      (fun c -> { members = [ c ]; unit_score = c.score; unit_cost = c.tcam_entries })
+      singles
+  in
+  group_units @ single_units
+
+let decide ~candidates ~offloaded ~tcam_free ?(max_offloads = None) ~min_score () =
+  (* Total budget: free entries plus everything currently offloaded,
+     since non-winners are demoted and return their entries. *)
+  let budget =
+    tcam_free + List.fold_left (fun s (_, c) -> s + c.tcam_entries) 0 offloaded
+  in
+  let eligible = List.filter (fun c -> c.score >= min_score) candidates in
+  let units =
+    List.stable_sort
+      (fun a b -> Float.compare b.unit_score a.unit_score)
+      (build_units eligible)
+  in
+  let count_cap = match max_offloads with Some n -> n | None -> max_int in
+  let selected, _, _ =
+    List.fold_left
+      (fun (acc, budget_left, slots_left) u ->
+        let members_count = List.length u.members in
+        if u.unit_cost <= budget_left && members_count <= slots_left then
+          (u.members @ acc, budget_left - u.unit_cost, slots_left - members_count)
+        else (acc, budget_left, slots_left))
+      ([], budget, count_cap) units
+  in
+  let is_offloaded c =
+    List.exists (fun (p, _) -> Fkey.Pattern.equal p c.pattern) offloaded
+  in
+  let selected_pattern p =
+    List.exists (fun c -> Fkey.Pattern.equal c.pattern p) selected
+  in
+  let offload = List.filter (fun c -> not (is_offloaded c)) selected in
+  let keep = List.filter is_offloaded selected in
+  let demote =
+    List.filter_map
+      (fun (p, c) -> if selected_pattern p then None else Some c)
+      offloaded
+  in
+  { offload; demote; keep }

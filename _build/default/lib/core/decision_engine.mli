@@ -1,0 +1,37 @@
+(** The TOR decision engine's selection algorithm (§4.3.2).
+
+    Pure: given scored candidates (from local reports and the TOR ME),
+    the currently offloaded set and the hardware budget, pick the
+    highest-scoring set that fits. Aggregates currently in hardware
+    whose score falls out of the winning set are demoted. Tenant
+    all-or-none groups are honoured: a group is taken entirely or not
+    at all. *)
+
+type candidate = {
+  pattern : Netcore.Fkey.Pattern.t;
+  tenant : Netcore.Tenant.id;
+  vm_ip : Netcore.Ipv4.t;  (** The VM whose flow placer must change. *)
+  score : float;
+  tcam_entries : int;  (** Entries this candidate would consume. *)
+  group : int option;  (** All-or-none group id (partition-aggregate apps). *)
+}
+
+type decision = {
+  offload : candidate list;  (** Selected and not currently in hardware. *)
+  demote : candidate list;  (** Currently in hardware, no longer selected. *)
+  keep : candidate list;  (** In hardware and still winning. *)
+}
+
+val decide :
+  candidates:candidate list ->
+  offloaded:(Netcore.Fkey.Pattern.t * candidate) list ->
+  tcam_free:int ->
+  ?max_offloads:int option ->
+  min_score:float ->
+  unit ->
+  decision
+(** [tcam_free] is the budget not currently used by [offloaded] entries
+    — demotions return their entries, and the selection accounts for
+    that. [candidates] must include fresh scores for offloaded
+    aggregates (the TOR ME measures them); an offloaded aggregate
+    absent from [candidates] is treated as idle and demoted. *)

@@ -1,0 +1,59 @@
+module Fkey = Netcore.Fkey
+
+type entry = {
+  pattern : Fkey.Pattern.t;
+  median_pps : float;
+  median_bps : float;
+  epochs_active : int;
+  last_interval : int;
+}
+
+type t = {
+  tenant : Netcore.Tenant.id;
+  vm_ip : Netcore.Ipv4.t;
+  table : (Fkey.Pattern.t, entry) Hashtbl.t;
+}
+
+let create ~tenant ~vm_ip = { tenant; vm_ip; table = Hashtbl.create 32 }
+let tenant t = t.tenant
+let vm_ip t = t.vm_ip
+
+let update t (report : Measurement_engine.report) =
+  List.iter
+    (fun (e : Measurement_engine.entry) ->
+      if
+        Netcore.Ipv4.equal e.owner.Measurement_engine.vm_ip t.vm_ip
+        && Netcore.Tenant.equal e.owner.Measurement_engine.tenant t.tenant
+      then
+        Hashtbl.replace t.table e.pattern
+          {
+            pattern = e.pattern;
+            median_pps = e.median_pps;
+            median_bps = e.median_bps;
+            epochs_active = e.epochs_active;
+            last_interval = report.interval_index;
+          })
+    report.entries
+
+let entries t = Hashtbl.fold (fun _ e acc -> e :: acc) t.table []
+let entry_count t = Hashtbl.length t.table
+
+let rehome_pattern (p : Fkey.Pattern.t) ~old_ip ~new_ip : Fkey.Pattern.t =
+  let swap = function
+    | Some ip when Netcore.Ipv4.equal ip old_ip -> Some new_ip
+    | other -> other
+  in
+  { p with src_ip = swap p.src_ip; dst_ip = swap p.dst_ip }
+
+let clone_for t ~vm_ip =
+  let clone = create ~tenant:t.tenant ~vm_ip in
+  Hashtbl.iter
+    (fun pattern e ->
+      let pattern = rehome_pattern pattern ~old_ip:t.vm_ip ~new_ip:vm_ip in
+      Hashtbl.replace clone.table pattern { e with pattern })
+    t.table;
+  clone
+
+let pp ppf t =
+  Format.fprintf ppf "profile %a/%a: %d aggregates" Netcore.Tenant.pp t.tenant
+    Netcore.Ipv4.pp t.vm_ip (Hashtbl.length t.table)

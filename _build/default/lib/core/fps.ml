@@ -1,0 +1,51 @@
+type input = {
+  demand_soft_bps : float;
+  demand_hard_bps : float;
+  soft_maxed : bool;
+  hard_maxed : bool;
+}
+
+type split = { soft : Rules.Rate_limit_spec.t; hard : Rules.Rate_limit_spec.t }
+
+let floor_fraction = 0.05
+let maxed_boost = 1.25
+
+let split ~total_bps ~overflow_bps ~current input =
+  if total_bps = infinity then
+    { soft = Rules.Rate_limit_spec.unlimited; hard = Rules.Rate_limit_spec.unlimited }
+  else begin
+    let current_limit side =
+      match current with
+      | None -> total_bps /. 2.0
+      | Some c -> (
+          match side with
+          | `Soft -> c.soft.Rules.Rate_limit_spec.rate_bps
+          | `Hard -> c.hard.Rules.Rate_limit_spec.rate_bps)
+    in
+    (* A maxed-out limiter hides true demand: the flows "max out the
+       rate limit imposed. FPS uses this information to re-adjust". *)
+    let weight_soft =
+      if input.soft_maxed then
+        Float.max input.demand_soft_bps (maxed_boost *. current_limit `Soft)
+      else input.demand_soft_bps
+    in
+    let weight_hard =
+      if input.hard_maxed then
+        Float.max input.demand_hard_bps (maxed_boost *. current_limit `Hard)
+      else input.demand_hard_bps
+    in
+    let sum = weight_soft +. weight_hard in
+    let share_soft = if sum <= 0.0 then 0.5 else weight_soft /. sum in
+    let floor = floor_fraction in
+    let share_soft = Float.min (1.0 -. floor) (Float.max floor share_soft) in
+    let ls = share_soft *. total_bps in
+    let lh = total_bps -. ls in
+    {
+      soft = Rules.Rate_limit_spec.make ~rate_bps:(ls +. overflow_bps) ();
+      hard = Rules.Rate_limit_spec.make ~rate_bps:(lh +. overflow_bps) ();
+    }
+  end
+
+let pp ppf t =
+  Format.fprintf ppf "fps{soft=%a hard=%a}" Rules.Rate_limit_spec.pp t.soft
+    Rules.Rate_limit_spec.pp t.hard

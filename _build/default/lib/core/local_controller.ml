@@ -1,0 +1,266 @@
+module Simtime = Dcsim.Simtime
+module Engine = Dcsim.Engine
+module Fkey = Netcore.Fkey
+
+type directive =
+  | Offload of { vm_ip : Netcore.Ipv4.t; pattern : Fkey.Pattern.t }
+  | Demote of { vm_ip : Netcore.Ipv4.t; pattern : Fkey.Pattern.t }
+
+type demand_report = { server : string; report : Measurement_engine.report }
+
+type offloaded = {
+  off_vm_ip : Netcore.Ipv4.t;
+  off_pattern : Fkey.Pattern.t;
+  placer_rule : Rules.Rule_table.rule_id;
+  mutable blocked_flows : Fkey.t list;
+}
+
+type vm_rate_state = {
+  mutable last_vif_tx : int;
+  mutable last_vf_tx : int;
+  mutable last_vif_rx : int;
+  mutable last_vf_rx : int;
+  mutable last_vif_backlog : float;
+  mutable last_vf_backlog : float;
+  mutable current_tx_split : Fps.split option;
+  mutable current_rx_split : Fps.split option;
+}
+
+type t = {
+  engine : Engine.t;
+  config : Config.t;
+  server : Host.Server.t;
+  me : Measurement_engine.t;
+  mutable report_sink : demand_report -> unit;
+  mutable offloaded : offloaded list;
+  profiles : (int, Demand_profile.t) Hashtbl.t;  (* vm ip -> profile *)
+  rate_states : (int, vm_rate_state) Hashtbl.t;
+}
+
+let ip_key ip = Int32.to_int (Netcore.Ipv4.to_int32 ip)
+
+let classify_for server flow =
+  (* Per-VM-per-application aggregation (§4.3.1): outgoing flows fold
+     into <src ip, src port, tenant>, incoming into <dst ip, dst port,
+     tenant>, relative to the VMs resident on this server. *)
+  let local ip = Host.Server.find_attached server ~vm_ip:ip <> None in
+  if local flow.Fkey.src_ip then
+    Some
+      ( Fkey.Pattern.src_aggregate flow,
+        {
+          Measurement_engine.tenant = flow.Fkey.tenant;
+          vm_ip = flow.Fkey.src_ip;
+          direction = `Outgoing;
+        } )
+  else if local flow.Fkey.dst_ip then
+    Some
+      ( Fkey.Pattern.dst_aggregate flow,
+        {
+          Measurement_engine.tenant = flow.Fkey.tenant;
+          vm_ip = flow.Fkey.dst_ip;
+          direction = `Incoming;
+        } )
+  else None
+
+let create ~engine ~config ~server =
+  let me =
+    Measurement_engine.create ~engine ~config
+      ~name:(Host.Server.name server ^ ".me")
+      ~poll:(fun () -> Vswitch.Ovs.active_flows (Host.Server.ovs server))
+      ~classify:(classify_for server)
+  in
+  let t =
+    {
+      engine;
+      config;
+      server;
+      me;
+      report_sink = ignore;
+      offloaded = [];
+      profiles = Hashtbl.create 8;
+      rate_states = Hashtbl.create 8;
+    }
+  in
+  t
+
+let server_name t = Host.Server.name t.server
+
+let profile_for t ~tenant ~vm_ip =
+  match Hashtbl.find_opt t.profiles (ip_key vm_ip) with
+  | Some p -> p
+  | None ->
+      let p = Demand_profile.create ~tenant ~vm_ip in
+      Hashtbl.replace t.profiles (ip_key vm_ip) p;
+      p
+
+let rate_state t vm_ip =
+  match Hashtbl.find_opt t.rate_states (ip_key vm_ip) with
+  | Some s -> s
+  | None ->
+      let s =
+        {
+          last_vif_tx = 0;
+          last_vf_tx = 0;
+          last_vif_rx = 0;
+          last_vf_rx = 0;
+          last_vif_backlog = 0.0;
+          last_vf_backlog = 0.0;
+          current_tx_split = None;
+          current_rx_split = None;
+        }
+      in
+      Hashtbl.replace t.rate_states (ip_key vm_ip) s;
+      s
+
+(* FPS re-adjustment (§4.3.2): each control interval, split every VM's
+   contracted limit across the VIF and VF in proportion to measured
+   per-path demand, boosting a path that maxed out its previous split. *)
+let apply_fps t =
+  let interval_sec =
+    Simtime.span_to_sec t.config.Config.epoch_period
+    *. float_of_int t.config.Config.epochs_per_interval
+  in
+  List.iter
+    (fun (a : Host.Server.attached) ->
+      let policy = Vswitch.Ovs.vif_policy a.vif in
+      let tx_total = (Rules.Policy.tx_limit policy).Rules.Rate_limit_spec.rate_bps in
+      let rx_total = (Rules.Policy.rx_limit policy).Rules.Rate_limit_spec.rate_bps in
+      match a.vf with
+      | None -> ()  (* single path: the VIF keeps the whole limit *)
+      | Some vf ->
+          if tx_total <> infinity || rx_total <> infinity then begin
+            let st = rate_state t (Host.Vm.ip a.vm) in
+            let vif_tx = Vswitch.Ovs.vif_tx_bytes a.vif in
+            let vf_tx = Nic.Sriov.vf_tx_bytes vf in
+            let vif_rx = Vswitch.Ovs.vif_rx_bytes a.vif in
+            let vf_rx = Nic.Sriov.vf_rx_bytes vf in
+            let vif_backlog = Vswitch.Ovs.vif_tx_backlogged_seconds a.vif in
+            let vf_backlog = Nic.Sriov.vf_tx_backlogged_seconds vf in
+            let bps last current =
+              float_of_int (current - last) *. 8.0 /. interval_sec
+            in
+            let maxed last current = current -. last > 0.2 *. interval_sec in
+            let input_tx =
+              {
+                Fps.demand_soft_bps = bps st.last_vif_tx vif_tx;
+                demand_hard_bps = bps st.last_vf_tx vf_tx;
+                soft_maxed = maxed st.last_vif_backlog vif_backlog;
+                hard_maxed = maxed st.last_vf_backlog vf_backlog;
+              }
+            in
+            let input_rx =
+              {
+                Fps.demand_soft_bps = bps st.last_vif_rx vif_rx;
+                demand_hard_bps = bps st.last_vf_rx vf_rx;
+                soft_maxed = false;
+                hard_maxed = false;
+              }
+            in
+            if tx_total <> infinity then begin
+              let split =
+                Fps.split ~total_bps:tx_total
+                  ~overflow_bps:t.config.Config.overflow_bps
+                  ~current:st.current_tx_split input_tx
+              in
+              st.current_tx_split <- Some split;
+              Vswitch.Ovs.set_vif_tx_limit a.vif split.Fps.soft;
+              Nic.Sriov.set_vf_tx_limit vf split.Fps.hard
+            end;
+            if rx_total <> infinity then begin
+              let split =
+                Fps.split ~total_bps:rx_total
+                  ~overflow_bps:t.config.Config.overflow_bps
+                  ~current:st.current_rx_split input_rx
+              in
+              st.current_rx_split <- Some split;
+              Vswitch.Ovs.set_vif_rx_limit a.vif split.Fps.soft;
+              Nic.Sriov.set_vf_rx_limit vf split.Fps.hard
+            end;
+            st.last_vif_tx <- vif_tx;
+            st.last_vf_tx <- vf_tx;
+            st.last_vif_rx <- vif_rx;
+            st.last_vf_rx <- vf_rx;
+            st.last_vif_backlog <- vif_backlog;
+            st.last_vf_backlog <- vf_backlog
+          end)
+    (Host.Server.vms t.server)
+
+let start t =
+  Measurement_engine.on_report t.me (fun report ->
+      (* Fold the interval into per-VM demand profiles, re-run FPS, and
+         ship the report to the TOR controller. *)
+      List.iter
+        (fun (e : Measurement_engine.entry) ->
+          let owner = e.Measurement_engine.owner in
+          Demand_profile.update
+            (profile_for t ~tenant:owner.Measurement_engine.tenant
+               ~vm_ip:owner.Measurement_engine.vm_ip)
+            { report with entries = [ e ] })
+        report.Measurement_engine.entries;
+      apply_fps t;
+      t.report_sink { server = server_name t; report });
+  Measurement_engine.start t.me
+
+let stop t = Measurement_engine.stop t.me
+let set_report_sink t sink = t.report_sink <- sink
+
+let pattern_equal = Fkey.Pattern.equal
+
+let handle_directive t = function
+  | Offload { vm_ip; pattern } -> (
+      match Host.Server.find_attached t.server ~vm_ip with
+      | None -> ()
+      | Some a ->
+          if
+            not
+              (List.exists
+                 (fun o ->
+                   pattern_equal o.off_pattern pattern
+                   && Netcore.Ipv4.equal o.off_vm_ip vm_ip)
+                 t.offloaded)
+          then begin
+            let placer_rule =
+              Host.Bonding.install_rule a.bonding ~pattern
+                ~priority:(Fkey.Pattern.specificity pattern)
+                Host.Bonding.Vf
+            in
+            (* In-flight packets of the redirected flows still sitting in
+               the vswitch pipeline are lost (§6.2.2). Blocking the exact
+               flows drops them as they surface; the placer sends all new
+               packets via the VF, so the block never sees live traffic. *)
+            let ovs = Host.Server.ovs t.server in
+            let matching =
+              List.filter_map
+                (fun (flow, _, _) ->
+                  if Fkey.Pattern.matches pattern flow then Some flow else None)
+                (Vswitch.Ovs.active_flows ovs)
+            in
+            List.iter (fun flow -> Vswitch.Ovs.set_flow_blocked ovs flow true) matching;
+            t.offloaded <-
+              { off_vm_ip = vm_ip; off_pattern = pattern; placer_rule; blocked_flows = matching }
+              :: t.offloaded
+          end)
+  | Demote { vm_ip; pattern } -> (
+      let matches o =
+        pattern_equal o.off_pattern pattern && Netcore.Ipv4.equal o.off_vm_ip vm_ip
+      in
+      match List.find_opt matches t.offloaded with
+      | None -> ()
+      | Some o ->
+          (match Host.Server.find_attached t.server ~vm_ip with
+          | Some a -> ignore (Host.Bonding.remove_rule a.bonding o.placer_rule)
+          | None -> ());
+          let ovs = Host.Server.ovs t.server in
+          List.iter
+            (fun flow -> Vswitch.Ovs.set_flow_blocked ovs flow false)
+            o.blocked_flows;
+          t.offloaded <- List.filter (fun x -> not (matches x)) t.offloaded)
+
+let offloaded_patterns t = List.map (fun o -> o.off_pattern) t.offloaded
+
+let profile t ~vm_ip = Hashtbl.find_opt t.profiles (ip_key vm_ip)
+
+let adopt_profile t p =
+  Hashtbl.replace t.profiles (ip_key (Demand_profile.vm_ip p)) p
+
+let measurement_engine t = t.me

@@ -1,0 +1,45 @@
+(** The per-server FasTrak local controller (§4.3, Figure 8).
+
+    Its measurement engine polls the server's OVS datapath for active
+    flow statistics (a Python script against the OVS datapath in the
+    paper's prototype, §5.2) and ships demand reports to the TOR
+    controller each control interval. Its decision engine applies the
+    TOR controller's directives: programming flow placers of co-located
+    VMs through the OpenFlow interface and re-adjusting the FPS rate
+    limit split on each VM's VIF/VF interface pair. *)
+
+type directive =
+  | Offload of { vm_ip : Netcore.Ipv4.t; pattern : Netcore.Fkey.Pattern.t }
+  | Demote of { vm_ip : Netcore.Ipv4.t; pattern : Netcore.Fkey.Pattern.t }
+
+type demand_report = {
+  server : string;
+  report : Measurement_engine.report;
+}
+
+type t
+
+val create :
+  engine:Dcsim.Engine.t -> config:Config.t -> server:Host.Server.t -> t
+
+val server_name : t -> string
+val start : t -> unit
+val stop : t -> unit
+
+val set_report_sink : t -> (demand_report -> unit) -> unit
+(** Where control-interval reports go (the TOR controller's channel). *)
+
+val handle_directive : t -> directive -> unit
+(** Apply an offload/demote decision: update the flow placer, block or
+    unblock the flow's software path (in-flight vswitch packets of a
+    freshly offloaded flow are lost — the §6.2.2 effect), and
+    recompute the FPS split for the affected VM. *)
+
+val offloaded_patterns : t -> Netcore.Fkey.Pattern.t list
+val profile : t -> vm_ip:Netcore.Ipv4.t -> Demand_profile.t option
+(** The demand profile accumulated for a resident VM. *)
+
+val adopt_profile : t -> Demand_profile.t -> unit
+(** Install a migrated-in VM's profile (S4). *)
+
+val measurement_engine : t -> Measurement_engine.t

@@ -1,0 +1,190 @@
+module Simtime = Dcsim.Simtime
+module Engine = Dcsim.Engine
+module Fkey = Netcore.Fkey
+
+type owner = {
+  tenant : Netcore.Tenant.id;
+  vm_ip : Netcore.Ipv4.t;
+  direction : [ `Outgoing | `Incoming ];
+}
+
+type entry = {
+  pattern : Fkey.Pattern.t;
+  owner : owner;
+  last_pps : float;
+  last_bps : float;
+  median_pps : float;
+  median_bps : float;
+  epochs_active : int;
+  destinations : Netcore.Ipv4.t list;
+}
+
+type report = { interval_index : int; entries : entry list }
+
+type record = {
+  rec_owner : owner;
+  mutable pps_history : float list;  (* newest first, length <= N*M *)
+  mutable bps_history : float list;
+  mutable rec_destinations : Netcore.Ipv4.t list;  (* most recent first, deduped *)
+}
+
+type t = {
+  engine : Engine.t;
+  config : Config.t;
+  me_name : string;
+  poll : unit -> (Fkey.t * int * int) list;
+  classify : Fkey.t -> (Fkey.Pattern.t * owner) option;
+  records : (Fkey.Pattern.t, record) Hashtbl.t;
+  mutable running : bool;
+  mutable epochs : int;
+  mutable intervals : int;
+  mutable report_cb : report -> unit;
+}
+
+let create ~engine ~config ~name ~poll ~classify =
+  {
+    engine;
+    config;
+    me_name = name;
+    poll;
+    classify;
+    records = Hashtbl.create 64;
+    running = false;
+    epochs = 0;
+    intervals = 0;
+    report_cb = ignore;
+  }
+
+let on_report t cb = t.report_cb <- cb
+
+let history_limit t =
+  t.config.Config.epochs_per_interval * t.config.Config.history_intervals
+
+let trim limit l =
+  let rec take n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | x :: rest -> x :: take (n - 1) rest
+  in
+  take limit l
+
+let add_destination record dst =
+  if not (List.exists (Netcore.Ipv4.equal dst) record.rec_destinations) then
+    record.rec_destinations <- trim 64 (dst :: record.rec_destinations)
+
+(* One epoch: snapshot counters, snapshot again after poll_gap, fold the
+   deltas into per-aggregate pps/bps samples. *)
+let run_epoch t k =
+  let snapshot () =
+    let table = Fkey.Table.create 64 in
+    List.iter (fun (flow, p, b) -> Fkey.Table.replace table flow (p, b)) (t.poll ());
+    table
+  in
+  let snap1 = snapshot () in
+  ignore
+    (Engine.after t.engine t.config.Config.poll_gap (fun () ->
+         let gap_sec = Simtime.span_to_sec t.config.Config.poll_gap in
+         (* Aggregate deltas by pattern. *)
+         let epoch_pps : (Fkey.Pattern.t, float * float * record) Hashtbl.t =
+           Hashtbl.create 32
+         in
+         List.iter
+           (fun (flow, p2, b2) ->
+             match t.classify flow with
+             | None -> ()
+             | Some (pattern, owner) ->
+                 let p1, b1 =
+                   match Fkey.Table.find_opt snap1 flow with
+                   | Some v -> v
+                   | None -> (0, 0)
+                 in
+                 let dp = float_of_int (p2 - p1) /. gap_sec in
+                 let db = float_of_int (b2 - b1) *. 8.0 /. gap_sec in
+                 let record =
+                   match Hashtbl.find_opt t.records pattern with
+                   | Some r -> r
+                   | None ->
+                       let r =
+                         {
+                           rec_owner = owner;
+                           pps_history = [];
+                           bps_history = [];
+                           rec_destinations = [];
+                         }
+                       in
+                       Hashtbl.replace t.records pattern r;
+                       r
+                 in
+                 if dp > 0.0 then add_destination record flow.Fkey.dst_ip;
+                 let pps0, bps0, _ =
+                   Option.value
+                     (Hashtbl.find_opt epoch_pps pattern)
+                     ~default:(0.0, 0.0, record)
+                 in
+                 Hashtbl.replace epoch_pps pattern (pps0 +. dp, bps0 +. db, record))
+           (t.poll ());
+         (* Every known aggregate gets a sample this epoch — zero if it
+            saw no traffic — so epochs_active means what it says. *)
+         let limit = history_limit t in
+         Hashtbl.iter
+           (fun pattern record ->
+             let pps, bps =
+               match Hashtbl.find_opt epoch_pps pattern with
+               | Some (p, b, _) -> (p, b)
+               | None -> (0.0, 0.0)
+             in
+             record.pps_history <- trim limit (pps :: record.pps_history);
+             record.bps_history <- trim limit (bps :: record.bps_history))
+           t.records;
+         t.epochs <- t.epochs + 1;
+         k ()))
+
+let build_report t =
+  let entries =
+    Hashtbl.fold
+      (fun pattern record acc ->
+        let actives = List.filter (fun p -> p > 0.0) record.pps_history in
+        if actives = [] then acc
+        else begin
+          let entry =
+            {
+              pattern;
+              owner = record.rec_owner;
+              last_pps = (match record.pps_history with [] -> 0.0 | p :: _ -> p);
+              last_bps = (match record.bps_history with [] -> 0.0 | b :: _ -> b);
+              median_pps = Dcsim.Stats.median actives;
+              median_bps =
+                Dcsim.Stats.median (List.filter (fun b -> b > 0.0) record.bps_history);
+              epochs_active = List.length actives;
+              destinations = record.rec_destinations;
+            }
+          in
+          entry :: acc
+        end)
+      t.records []
+  in
+  t.intervals <- t.intervals + 1;
+  { interval_index = t.intervals; entries }
+
+let start t =
+  if not t.running then begin
+    t.running <- true;
+    let rec interval_loop epoch_in_interval =
+      if t.running then
+        ignore
+          (Engine.after t.engine t.config.Config.epoch_period (fun () ->
+               if t.running then
+                 run_epoch t (fun () ->
+                     let next = epoch_in_interval + 1 in
+                     if next >= t.config.Config.epochs_per_interval then begin
+                       t.report_cb (build_report t);
+                       interval_loop 0
+                     end
+                     else interval_loop next)))
+    in
+    interval_loop 0
+  end
+
+let stop t = t.running <- false
+let epochs_completed t = t.epochs
+let intervals_completed t = t.intervals

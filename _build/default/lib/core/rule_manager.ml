@@ -1,0 +1,67 @@
+module Engine = Dcsim.Engine
+
+type t = {
+  engine : Engine.t;
+  config : Config.t;
+  tor_ctrl : Tor_controller.t;
+  locals : (string * Local_controller.t) list;
+}
+
+let create ~engine ~config ~tor ~servers ?tenant_priority ?group_of () =
+  let lookup_vm ~tenant ~vm_ip =
+    ignore tenant;
+    List.find_map
+      (fun server ->
+        match Host.Server.find_attached server ~vm_ip with
+        | Some attached -> Some (server, attached)
+        | None -> None)
+      servers
+  in
+  let tor_ctrl =
+    Tor_controller.create ~engine ~config ~tor ~lookup_vm ?tenant_priority
+      ?group_of ()
+  in
+  let locals =
+    List.map
+      (fun server ->
+        let local = Local_controller.create ~engine ~config ~server in
+        let name = Host.Server.name server in
+        (* Uplink: demand reports to the TOR controller. *)
+        let report_channel =
+          Openflow.Channel.create ~engine ~latency:config.Config.controller_latency
+            ~handler:(fun r -> Tor_controller.receive_report tor_ctrl r)
+        in
+        Local_controller.set_report_sink local (fun r ->
+            Openflow.Channel.send report_channel r);
+        (* Downlink: offload/demote directives to the local controller. *)
+        let directive_channel =
+          Openflow.Channel.create ~engine ~latency:config.Config.controller_latency
+            ~handler:(fun d -> Local_controller.handle_directive local d)
+        in
+        Tor_controller.register_local tor_ctrl ~name ~directive_channel;
+        (name, local))
+      servers
+  in
+  { engine; config; tor_ctrl; locals }
+
+let start t =
+  List.iter (fun (_, local) -> Local_controller.start local) t.locals;
+  Tor_controller.start t.tor_ctrl
+
+let stop t =
+  List.iter (fun (_, local) -> Local_controller.stop local) t.locals;
+  Tor_controller.stop t.tor_ctrl
+
+let tor_controller t = t.tor_ctrl
+let local_controller t ~server = List.assoc_opt server t.locals
+let offloaded_count t = Tor_controller.offloaded_count t.tor_ctrl
+
+let prepare_vm_migration t ~tenant ~vm_ip =
+  ignore tenant;
+  Tor_controller.demote_all_for_vm t.tor_ctrl ~vm_ip;
+  List.find_map (fun (_, local) -> Local_controller.profile local ~vm_ip) t.locals
+
+let complete_vm_migration t ~profile ~new_server =
+  match List.assoc_opt new_server t.locals with
+  | Some local -> Local_controller.adopt_profile local profile
+  | None -> invalid_arg ("Rule_manager: unknown server " ^ new_server)

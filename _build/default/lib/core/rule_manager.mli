@@ -1,0 +1,37 @@
+(** The FasTrak rule manager: the distributed system of one local
+    controller per server plus one TOR controller per rack (§4.3,
+    Figure 9), wired over latency-bearing control channels.
+
+    Manages hardware and hypervisor rules as a unified set: measures
+    demand, offloads the highest-S flows into ToR VRFs + flow placers,
+    demotes cold flows, splits rate limits with FPS, and returns all of
+    a VM's offloaded rules to its hypervisor before VM migration. *)
+
+type t
+
+val create :
+  engine:Dcsim.Engine.t ->
+  config:Config.t ->
+  tor:Tor.Tor_switch.t ->
+  servers:Host.Server.t list ->
+  ?tenant_priority:(Netcore.Tenant.id -> float) ->
+  ?group_of:(Netcore.Fkey.Pattern.t -> int option) ->
+  unit ->
+  t
+
+val start : t -> unit
+val stop : t -> unit
+val tor_controller : t -> Tor_controller.t
+val local_controller : t -> server:string -> Local_controller.t option
+val offloaded_count : t -> int
+
+val prepare_vm_migration :
+  t -> tenant:Netcore.Tenant.id -> vm_ip:Netcore.Ipv4.t -> Demand_profile.t option
+(** Pre-migration step (§4.1.2): every offloaded flow of the VM is
+    returned to the hypervisor, and the VM's demand profile — which
+    "is migrated along with the VM" — is handed back for transfer. *)
+
+val complete_vm_migration :
+  t -> profile:Demand_profile.t -> new_server:string -> unit
+(** Post-migration step: adopt the profile at the destination's local
+    controller so the TOR controller can re-offload immediately. *)

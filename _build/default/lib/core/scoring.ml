@@ -1,0 +1,4 @@
+let score ~epochs_active ~median_pps ?(priority = 1.0) () =
+  float_of_int epochs_active *. median_pps *. priority
+
+let compare_desc (a, _) (b, _) = Float.compare b a

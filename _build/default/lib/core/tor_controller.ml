@@ -1,0 +1,307 @@
+module Simtime = Dcsim.Simtime
+module Engine = Dcsim.Engine
+module Fkey = Netcore.Fkey
+
+type offload_state = {
+  os_pattern : Fkey.Pattern.t;
+  os_tenant : Netcore.Tenant.id;
+  os_vm_ip : Netcore.Ipv4.t;
+  os_server : string;
+  os_handle : Tor.Vrf.handle;
+  os_entries : int;
+  mutable os_score : float;
+}
+
+type t = {
+  engine : Engine.t;
+  config : Config.t;
+  tor : Tor.Tor_switch.t;
+  lookup_vm :
+    tenant:Netcore.Tenant.id ->
+    vm_ip:Netcore.Ipv4.t ->
+    (Host.Server.t * Host.Server.attached) option;
+  tenant_priority : Netcore.Tenant.id -> float;
+  group_of : Fkey.Pattern.t -> int option;
+  tor_me : Measurement_engine.t;
+  mutable locals :
+    (string * Local_controller.directive Openflow.Channel.t) list;
+  latest_reports : (string, Measurement_engine.report) Hashtbl.t;
+  mutable latest_tor_report : Measurement_engine.report option;
+  mutable offloaded : offload_state list;
+  destinations : (Fkey.Pattern.t, Netcore.Ipv4.t list) Hashtbl.t;
+  mutable decisions : int;
+  mutable running : bool;
+}
+
+let create ~engine ~config ~tor ~lookup_vm ?(tenant_priority = fun _ -> 1.0)
+    ?(group_of = fun _ -> None) () =
+  let t_ref = ref None in
+  let classify flow =
+    match !t_ref with
+    | None -> None
+    | Some t -> (
+        match
+          List.find_opt
+            (fun os -> Fkey.Pattern.matches os.os_pattern flow)
+            t.offloaded
+        with
+        | None -> None
+        | Some os ->
+            Some
+              ( os.os_pattern,
+                {
+                  Measurement_engine.tenant = os.os_tenant;
+                  vm_ip = os.os_vm_ip;
+                  direction = `Outgoing;
+                } ))
+  in
+  let tor_me =
+    Measurement_engine.create ~engine ~config ~name:"tor.me"
+      ~poll:(fun () -> Tor.Tor_switch.offloaded_flows tor)
+      ~classify
+  in
+  let t =
+    {
+      engine;
+      config;
+      tor;
+      lookup_vm;
+      tenant_priority;
+      group_of;
+      tor_me;
+      locals = [];
+      latest_reports = Hashtbl.create 8;
+      latest_tor_report = None;
+      offloaded = [];
+      destinations = Hashtbl.create 32;
+      decisions = 0;
+      running = false;
+    }
+  in
+  t_ref := Some t;
+  (* Offloaded flows are invisible to the vswitches; the TOR ME's own
+     reports keep their scores fresh so winners are not demoted for
+     lack of software-side evidence. *)
+  Measurement_engine.on_report tor_me (fun r -> t.latest_tor_report <- Some r);
+  t
+
+let register_local t ~name ~directive_channel =
+  t.locals <- (name, directive_channel) :: t.locals
+
+let receive_report t (r : Local_controller.demand_report) =
+  Hashtbl.replace t.latest_reports r.Local_controller.server r.report
+
+let entry_score t (e : Measurement_engine.entry) =
+  Scoring.score ~epochs_active:e.epochs_active ~median_pps:e.median_pps
+    ~priority:(t.tenant_priority e.owner.Measurement_engine.tenant)
+    ()
+
+let max_destinations = 16
+
+let build_candidates t =
+  (* Merge per-pattern: software-side reports (flows not yet offloaded,
+     or trailing software traffic) and the TOR ME (offloaded flows). *)
+  let table : (Fkey.Pattern.t, Decision_engine.candidate) Hashtbl.t =
+    Hashtbl.create 32
+  in
+  let server_of : (Fkey.Pattern.t, string) Hashtbl.t = Hashtbl.create 32 in
+  let note_entry source_server (e : Measurement_engine.entry) =
+    if e.owner.Measurement_engine.direction = `Outgoing then begin
+      let dests =
+        let previous =
+          Option.value (Hashtbl.find_opt t.destinations e.pattern) ~default:[]
+        in
+        let merged =
+          List.fold_left
+            (fun acc d ->
+              if List.exists (Netcore.Ipv4.equal d) acc then acc else d :: acc)
+            previous e.destinations
+        in
+        let rec take n = function
+          | [] -> []
+          | _ when n = 0 -> []
+          | x :: r -> x :: take (n - 1) r
+        in
+        take max_destinations merged
+      in
+      Hashtbl.replace t.destinations e.pattern dests;
+      (match source_server with
+      | Some s -> Hashtbl.replace server_of e.pattern s
+      | None -> ());
+      let score = entry_score t e in
+      let candidate =
+        {
+          Decision_engine.pattern = e.pattern;
+          tenant = e.owner.Measurement_engine.tenant;
+          vm_ip = e.owner.Measurement_engine.vm_ip;
+          score;
+          tcam_entries = 1 + List.length dests;
+          group = t.group_of e.pattern;
+        }
+      in
+      match Hashtbl.find_opt table e.pattern with
+      | Some existing when existing.Decision_engine.score >= score -> ()
+      | _ -> Hashtbl.replace table e.pattern candidate
+    end
+  in
+  Hashtbl.iter
+    (fun server (report : Measurement_engine.report) ->
+      List.iter (note_entry (Some server)) report.entries)
+    t.latest_reports;
+  (match t.latest_tor_report with
+  | Some (report : Measurement_engine.report) ->
+      List.iter (note_entry None) report.entries
+  | None -> ());
+  (* Keep offloaded scores fresh from the hardware counters; remember
+     them on the state so decide() sees current values. *)
+  List.iter
+    (fun os ->
+      match
+        Hashtbl.find_opt table os.os_pattern
+      with
+      | Some c -> os.os_score <- c.Decision_engine.score
+      | None -> os.os_score <- 0.0)
+    t.offloaded;
+  (table, server_of)
+
+let directive_channel t server = List.assoc_opt server t.locals
+
+let apply_offload t (c : Decision_engine.candidate) ~server =
+  match t.lookup_vm ~tenant:c.Decision_engine.tenant ~vm_ip:c.vm_ip with
+  | None -> ()
+  | Some (_, attached) -> (
+      let policy = Vswitch.Ovs.vif_policy attached.Host.Server.vif in
+      let destinations =
+        Option.value (Hashtbl.find_opt t.destinations c.pattern) ~default:[]
+      in
+      match
+        Rules.Rule_compiler.compile ~policy ~selection:c.pattern ~destinations
+      with
+      | Error _ -> ()  (* denied or unresolvable: never offload *)
+      | Ok compiled -> (
+          let vrf = Tor.Tor_switch.vrf t.tor c.tenant in
+          match Tor.Vrf.install vrf compiled with
+          | Error `Tcam_full -> ()
+          | Ok handle -> (
+              let state =
+                {
+                  os_pattern = c.pattern;
+                  os_tenant = c.tenant;
+                  os_vm_ip = c.vm_ip;
+                  os_server = server;
+                  os_handle = handle;
+                  os_entries = compiled.Rules.Rule_compiler.tcam_entries;
+                  os_score = c.score;
+                }
+              in
+              match directive_channel t server with
+              | None -> Tor.Vrf.remove vrf handle
+              | Some chan ->
+                  t.offloaded <- state :: t.offloaded;
+                  (* Make-before-break: VRF rules are live before the
+                     flow placer redirects the first packet. *)
+                  Openflow.Channel.send chan
+                    (Local_controller.Offload { vm_ip = c.vm_ip; pattern = c.pattern }))))
+
+let grace_before_vrf_removal t =
+  Simtime.span_add
+    (Simtime.span_scale 2.0 t.config.Config.controller_latency)
+    (Simtime.span_ms 10.0)
+
+let apply_demote t os =
+  t.offloaded <- List.filter (fun x -> x != os) t.offloaded;
+  (match directive_channel t os.os_server with
+  | Some chan ->
+      Openflow.Channel.send chan
+        (Local_controller.Demote { vm_ip = os.os_vm_ip; pattern = os.os_pattern })
+  | None -> ());
+  (* Break-after-make in reverse: give the placer time to move the flow
+     back to software before the hardware rules disappear. *)
+  let vrf = Tor.Tor_switch.vrf t.tor os.os_tenant in
+  ignore
+    (Engine.after t.engine (grace_before_vrf_removal t) (fun () ->
+         Tor.Vrf.remove vrf os.os_handle))
+
+let run_decision t =
+  t.decisions <- t.decisions + 1;
+  let candidates_table, server_of = build_candidates t in
+  let candidates = Hashtbl.fold (fun _ c acc -> c :: acc) candidates_table [] in
+  let offloaded_for_decide =
+    List.map
+      (fun os ->
+        ( os.os_pattern,
+          {
+            Decision_engine.pattern = os.os_pattern;
+            tenant = os.os_tenant;
+            vm_ip = os.os_vm_ip;
+            score = os.os_score;
+            tcam_entries = os.os_entries;
+            group = t.group_of os.os_pattern;
+          } ))
+      t.offloaded
+  in
+  let decision =
+    Decision_engine.decide ~candidates ~offloaded:offloaded_for_decide
+      ~tcam_free:(Tor.Tcam.available (Tor.Tor_switch.tcam t.tor))
+      ~max_offloads:t.config.Config.max_offloads
+      ~min_score:t.config.Config.min_score ()
+  in
+  (* Demote first so the freed TCAM entries are real by the time the
+     delayed removals land; installs were already budgeted by decide. *)
+  List.iter
+    (fun (c : Decision_engine.candidate) ->
+      match
+        List.find_opt
+          (fun os -> Fkey.Pattern.equal os.os_pattern c.Decision_engine.pattern)
+          t.offloaded
+      with
+      | Some os -> apply_demote t os
+      | None -> ())
+    decision.Decision_engine.demote;
+  List.iter
+    (fun (c : Decision_engine.candidate) ->
+      match Hashtbl.find_opt server_of c.Decision_engine.pattern with
+      | Some server -> apply_offload t c ~server
+      | None -> ())
+    decision.Decision_engine.offload
+
+let start t =
+  if not t.running then begin
+    t.running <- true;
+    Measurement_engine.start t.tor_me;
+    let interval =
+      Simtime.span_scale
+        (float_of_int t.config.Config.epochs_per_interval)
+        t.config.Config.epoch_period
+    in
+    (* Offset the decision tick slightly after the local controllers'
+       reports for the same interval have been shipped and delivered. *)
+    let offset =
+      Simtime.span_add
+        (Simtime.span_scale 4.0 t.config.Config.controller_latency)
+        (Simtime.span_add t.config.Config.poll_gap (Simtime.span_ms 5.0))
+    in
+    Engine.every t.engine
+      ~start:(Simtime.add (Engine.now t.engine) (Simtime.span_add interval offset))
+      interval
+      (fun () ->
+        if t.running then begin
+          run_decision t;
+          `Continue
+        end
+        else `Stop)
+  end
+
+let stop t =
+  t.running <- false;
+  Measurement_engine.stop t.tor_me
+
+let offloaded_count t = List.length t.offloaded
+let offloaded_patterns t = List.map (fun os -> os.os_pattern) t.offloaded
+let decisions_made t = t.decisions
+
+let demote_all_for_vm t ~vm_ip =
+  let mine, _rest =
+    List.partition (fun os -> Netcore.Ipv4.equal os.os_vm_ip vm_ip) t.offloaded
+  in
+  List.iter (fun os -> apply_demote t os) mine

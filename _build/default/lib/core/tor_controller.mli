@@ -1,0 +1,46 @@
+(** The per-rack TOR controller (§4.3, Figures 8–9).
+
+    Receives demand reports from the local controllers of directly
+    attached servers, runs its own measurement engine over the flows
+    already offloaded to the ToR, and each control interval ranks all
+    candidates by S = n x m_pps x c, offloading the winners (installing
+    their compiled rules in the tenant VRFs, subject to TCAM capacity)
+    and demoting losers back to software. Distribution: each TOR
+    controller only ever reasons about its own rack (§4.3.3). *)
+
+type t
+
+val create :
+  engine:Dcsim.Engine.t ->
+  config:Config.t ->
+  tor:Tor.Tor_switch.t ->
+  lookup_vm:
+    (tenant:Netcore.Tenant.id ->
+    vm_ip:Netcore.Ipv4.t ->
+    (Host.Server.t * Host.Server.attached) option) ->
+  ?tenant_priority:(Netcore.Tenant.id -> float) ->
+  ?group_of:(Netcore.Fkey.Pattern.t -> int option) ->
+  unit ->
+  t
+
+val register_local :
+  t ->
+  name:string ->
+  directive_channel:Local_controller.directive Openflow.Channel.t ->
+  unit
+(** Wire the downlink to a local controller. The uplink is the channel
+    the rule manager creates whose handler is {!receive_report}. *)
+
+val receive_report : t -> Local_controller.demand_report -> unit
+
+val start : t -> unit
+(** Start the TOR ME and the per-control-interval decision loop. *)
+
+val stop : t -> unit
+
+val offloaded_count : t -> int
+val offloaded_patterns : t -> Netcore.Fkey.Pattern.t list
+val decisions_made : t -> int
+val demote_all_for_vm : t -> vm_ip:Netcore.Ipv4.t -> unit
+(** Synchronously return every offloaded rule of one VM to its
+    hypervisor — the pre-VM-migration step (§4.1.2). *)

@@ -1,0 +1,1 @@
+lib/dcsim/engine.ml: Event_queue Format Rng Simtime

@@ -1,0 +1,1 @@
+lib/dcsim/engine.mli: Rng Simtime

@@ -1,0 +1,1 @@
+lib/dcsim/event_queue.ml: Array Obj Simtime Stdlib

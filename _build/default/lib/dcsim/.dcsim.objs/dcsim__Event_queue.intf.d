@@ -1,0 +1,1 @@
+lib/dcsim/event_queue.mli: Simtime

@@ -1,0 +1,1 @@
+lib/dcsim/queueing.ml:

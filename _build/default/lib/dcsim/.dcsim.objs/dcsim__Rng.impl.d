@@ -1,0 +1,1 @@
+lib/dcsim/rng.ml: Array Float Hashtbl Random Simtime

@@ -1,0 +1,1 @@
+lib/dcsim/rng.mli: Simtime

@@ -1,0 +1,1 @@
+lib/dcsim/simtime.mli: Format

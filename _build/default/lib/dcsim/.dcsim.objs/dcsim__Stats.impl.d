@@ -1,0 +1,1 @@
+lib/dcsim/stats.ml: Array Float List Simtime Stdlib

@@ -1,0 +1,1 @@
+lib/dcsim/stats.mli: Simtime

@@ -1,0 +1,65 @@
+type t = {
+  mutable clock : Simtime.t;
+  queue : (unit -> unit) Event_queue.t;
+  rng : Rng.t;
+  mutable stopping : bool;
+  mutable processed : int;
+}
+
+type handle = Event_queue.handle
+
+let create ?(seed = 42) () =
+  {
+    clock = Simtime.zero;
+    queue = Event_queue.create ();
+    rng = Rng.create ~seed;
+    stopping = false;
+    processed = 0;
+  }
+
+let now t = t.clock
+let rng t = t.rng
+
+let at t time fn =
+  if Simtime.(time < t.clock) then
+    invalid_arg
+      (Format.asprintf "Engine.at: %a is before current time %a" Simtime.pp
+         time Simtime.pp t.clock);
+  Event_queue.push t.queue time fn
+
+let after t span fn = at t (Simtime.add t.clock span) fn
+let cancel t handle = Event_queue.cancel t.queue handle
+
+let every t ?start span fn =
+  let first = match start with Some s -> s | None -> Simtime.add t.clock span in
+  let rec tick () =
+    match fn () with
+    | `Stop -> ()
+    | `Continue -> ignore (after t span tick)
+  in
+  ignore (at t first tick)
+
+let run ?until t =
+  t.stopping <- false;
+  let continue = ref true in
+  while !continue do
+    if t.stopping then continue := false
+    else
+      match Event_queue.peek_time t.queue with
+      | None -> continue := false
+      | Some time -> (
+          match until with
+          | Some limit when Simtime.(time > limit) ->
+              t.clock <- limit;
+              continue := false
+          | _ -> (
+              match Event_queue.pop t.queue with
+              | None -> continue := false
+              | Some (time, fn) ->
+                  t.clock <- time;
+                  t.processed <- t.processed + 1;
+                  fn ()))
+  done
+
+let stop t = t.stopping <- true
+let events_processed t = t.processed

@@ -1,0 +1,34 @@
+(** Discrete-event simulation engine.
+
+    The engine owns the clock and the event queue. Components schedule
+    closures to run at future instants; [run] executes them in time
+    order until the queue drains or a stop condition triggers. *)
+
+type t
+
+val create : ?seed:int -> unit -> t
+val now : t -> Simtime.t
+val rng : t -> Rng.t
+
+type handle
+
+val at : t -> Simtime.t -> (unit -> unit) -> handle
+(** Schedule a closure at an absolute instant (must not be in the past). *)
+
+val after : t -> Simtime.span -> (unit -> unit) -> handle
+(** Schedule a closure [span] after the current time. *)
+
+val cancel : t -> handle -> bool
+
+val every :
+  t -> ?start:Simtime.t -> Simtime.span -> (unit -> [ `Continue | `Stop ]) -> unit
+(** Periodic callback; reschedules itself until it returns [`Stop]. *)
+
+val run : ?until:Simtime.t -> t -> unit
+(** Execute events in order. With [until], events scheduled later than
+    the limit remain in the queue and the clock stops at [until]. *)
+
+val stop : t -> unit
+(** Request that [run] return after the current event completes. *)
+
+val events_processed : t -> int

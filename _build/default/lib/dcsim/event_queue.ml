@@ -1,0 +1,114 @@
+type 'a entry = {
+  time : Simtime.t;
+  seq : int;
+  payload : 'a;
+  mutable cancelled : bool;
+}
+
+type 'a t = {
+  mutable heap : 'a entry array;
+  (* [heap] has [size] live slots; remaining slots hold stale entries
+     kept only to satisfy the array type. *)
+  mutable size : int;
+  mutable next_seq : int;
+  mutable live : int;
+}
+
+type handle = Obj.t
+(* The handle is the entry itself, hidden behind Obj.t so the interface
+   need not expose the payload type parameter. Cancellation just flips
+   the entry's flag; the heap drops cancelled entries lazily on pop. *)
+
+let create () = { heap = [||]; size = 0; next_seq = 0; live = 0 }
+let is_empty t = t.live = 0
+let length t = t.live
+
+let before a b =
+  Simtime.compare a.time b.time < 0
+  || (Simtime.equal a.time b.time && a.seq < b.seq)
+
+let swap t i j =
+  let tmp = t.heap.(i) in
+  t.heap.(i) <- t.heap.(j);
+  t.heap.(j) <- tmp
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if before t.heap.(i) t.heap.(parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.size && before t.heap.(l) t.heap.(!smallest) then smallest := l;
+  if r < t.size && before t.heap.(r) t.heap.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let grow t entry =
+  let capacity = Array.length t.heap in
+  if t.size = capacity then begin
+    let new_capacity = Stdlib.max 16 (2 * capacity) in
+    let heap = Array.make new_capacity entry in
+    Array.blit t.heap 0 heap 0 t.size;
+    t.heap <- heap
+  end
+
+let push t time payload =
+  let entry = { time; seq = t.next_seq; payload; cancelled = false } in
+  t.next_seq <- t.next_seq + 1;
+  grow t entry;
+  t.heap.(t.size) <- entry;
+  t.size <- t.size + 1;
+  t.live <- t.live + 1;
+  sift_up t (t.size - 1);
+  Obj.repr entry
+
+let cancel t handle =
+  let entry : 'a entry = Obj.obj handle in
+  if entry.cancelled then false
+  else begin
+    entry.cancelled <- true;
+    t.live <- t.live - 1;
+    true
+  end
+
+let pop_entry t =
+  if t.size = 0 then None
+  else begin
+    let top = t.heap.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.heap.(0) <- t.heap.(t.size);
+      sift_down t 0
+    end;
+    Some top
+  end
+
+let rec pop t =
+  match pop_entry t with
+  | None -> None
+  | Some entry ->
+      if entry.cancelled then pop t
+      else begin
+        t.live <- t.live - 1;
+        Some (entry.time, entry.payload)
+      end
+
+let rec peek_time t =
+  if t.size = 0 then None
+  else begin
+    let top = t.heap.(0) in
+    if top.cancelled then begin
+      (* Discard the cancelled top so repeated peeks stay cheap. *)
+      ignore (pop_entry t);
+      peek_time t
+    end
+    else Some top.time
+  end

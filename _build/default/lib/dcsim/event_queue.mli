@@ -1,0 +1,25 @@
+(** Priority queue of timestamped events.
+
+    A binary min-heap ordered by (time, sequence number). The sequence
+    number breaks ties so that events scheduled for the same instant
+    fire in scheduling order, which keeps runs deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val length : 'a t -> int
+
+type handle
+(** Identifies a scheduled event so it can be cancelled. *)
+
+val push : 'a t -> Simtime.t -> 'a -> handle
+val cancel : 'a t -> handle -> bool
+(** [cancel q h] removes the event; returns [false] if it already fired
+    or was already cancelled. Cancellation is O(1) (lazy deletion). *)
+
+val pop : 'a t -> (Simtime.t * 'a) option
+(** Remove and return the earliest live event. *)
+
+val peek_time : 'a t -> Simtime.t option
+(** Timestamp of the earliest live event without removing it. *)

@@ -1,0 +1,45 @@
+let utilization ~arrival_rate ~service_rate = arrival_rate /. service_rate
+
+let mm1_wait ~arrival_rate ~service_rate =
+  let rho = utilization ~arrival_rate ~service_rate in
+  if rho >= 1.0 then infinity else 1.0 /. (service_rate -. arrival_rate)
+
+let md1_wait ~arrival_rate ~service_rate =
+  let rho = utilization ~arrival_rate ~service_rate in
+  if rho >= 1.0 then infinity
+  else begin
+    let service = 1.0 /. service_rate in
+    (* Pollaczek–Khinchine for deterministic service. *)
+    service +. (rho *. service /. (2.0 *. (1.0 -. rho)))
+  end
+
+let erlang_c ~rho ~servers =
+  (* Probability an arrival must wait, M/M/c. [rho] is per-system offered
+     load (lambda/mu), must be < servers. *)
+  let c = float_of_int servers in
+  let rec sum_terms k acc term =
+    if k > servers - 1 then acc
+    else begin
+      let term = if k = 0 then 1.0 else term *. rho /. float_of_int k in
+      sum_terms (k + 1) (acc +. term) term
+    end
+  in
+  (* term_{k} = rho^k / k!; compute the partial sum and the c-th term. *)
+  let rec term_at k acc = if k = 0 then acc else term_at (k - 1) (acc *. rho /. float_of_int k) in
+  let tc = term_at servers 1.0 in
+  let sum = sum_terms 0 0.0 1.0 in
+  let tail = tc *. c /. (c -. rho) in
+  tail /. (sum +. tail)
+
+let mmc_wait ~arrival_rate ~service_rate ~servers =
+  let rho = arrival_rate /. service_rate in
+  let c = float_of_int servers in
+  if rho >= c then infinity
+  else begin
+    let pw = erlang_c ~rho ~servers in
+    (1.0 /. service_rate)
+    +. (pw /. (c *. service_rate -. arrival_rate))
+  end
+
+let littles_law_occupancy ~arrival_rate ~time_in_system =
+  arrival_rate *. time_in_system

@@ -1,0 +1,22 @@
+(** Queueing-theory helpers.
+
+    Closed-form expectations used to sanity-check the simulator (tests
+    compare simulated queue delays against these) and to reason about
+    the Little's-law argument in §3.2.4 of the paper: hypervisor delay
+    grows with the packets-per-second arrival rate. *)
+
+val utilization : arrival_rate:float -> service_rate:float -> float
+(** rho = lambda / mu. *)
+
+val mm1_wait : arrival_rate:float -> service_rate:float -> float
+(** Mean time in system (wait + service) of an M/M/1 queue, seconds.
+    Infinite when rho >= 1. *)
+
+val md1_wait : arrival_rate:float -> service_rate:float -> float
+(** Mean time in system of an M/D/1 queue (deterministic service). *)
+
+val mmc_wait : arrival_rate:float -> service_rate:float -> servers:int -> float
+(** Mean time in system of an M/M/c queue (Erlang-C). *)
+
+val littles_law_occupancy : arrival_rate:float -> time_in_system:float -> float
+(** L = lambda * W. *)

@@ -1,0 +1,73 @@
+(** Measurement utilities: summaries, histograms, percentiles, rates.
+
+    These back both the simulator's reported metrics (mean/99th latency,
+    TPS, CPU utilisation) and FasTrak's measurement engine. *)
+
+module Summary : sig
+  (** Streaming summary: count / sum / min / max / mean / variance
+      (Welford's online algorithm). *)
+
+  type t
+
+  val create : unit -> t
+  val clear : t -> unit
+  val add : t -> float -> unit
+  val count : t -> int
+  val sum : t -> float
+  val mean : t -> float
+  (** 0 when empty. *)
+
+  val variance : t -> float
+  val stddev : t -> float
+  val min : t -> float
+  val max : t -> float
+end
+
+module Histogram : sig
+  (** Log-bucketed latency histogram (HdrHistogram-style): values are
+      recorded exactly below [precision] and with bounded relative error
+      above, which makes tail percentiles cheap and memory constant. *)
+
+  type t
+
+  val create : unit -> t
+  val clear : t -> unit
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  val percentile : t -> float -> float
+  (** [percentile t 99.0] is the value at the given percentile; 0 when
+      empty. [p] must be in (0, 100]. *)
+
+  val max : t -> float
+end
+
+module Rate : sig
+  (** Windowed rate estimator: counts events/bytes per interval, as used
+      by the FasTrak measurement engine to compute pps and bps. *)
+
+  type t
+
+  val create : unit -> t
+  val observe : t -> now:Simtime.t -> count:int -> bytes_len:int -> unit
+  val sample : t -> now:Simtime.t -> float * float
+  (** [(pps, bps)] since the previous [sample] (or creation); resets the
+      window. Returns (0, 0) if no time has elapsed. *)
+end
+
+module Timeseries : sig
+  (** Append-only (time, value) series for experiment output. *)
+
+  type t
+
+  val create : string -> t
+  val name : t -> string
+  val add : t -> Simtime.t -> float -> unit
+  val points : t -> (Simtime.t * float) list
+  (** In insertion order. *)
+
+  val length : t -> int
+end
+
+val median : float list -> float
+(** Median of a list; 0 when empty. *)

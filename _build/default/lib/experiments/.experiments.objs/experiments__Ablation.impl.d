@@ -1,0 +1,1 @@
+lib/experiments/ablation.ml: Array Dcsim Fastrak Float Host List Memcached_eval Netcore Rules Tabular Testbed Tor Vswitch Workloads

@@ -1,0 +1,1 @@
+lib/experiments/cpu_overhead.ml: Array Compute Dcsim Host List Nic Printf Rules Tabular Testbed Workloads

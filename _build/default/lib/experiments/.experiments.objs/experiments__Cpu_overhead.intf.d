@@ -1,0 +1,1 @@
+lib/experiments/cpu_overhead.mli: Compute Rules

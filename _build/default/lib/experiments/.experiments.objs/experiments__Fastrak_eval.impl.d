@@ -1,0 +1,1 @@
+lib/experiments/fastrak_eval.ml: Array Dcsim Fastrak Float Host List Memcached_eval Netcore Printf Testbed Workloads

@@ -1,0 +1,1 @@
+lib/experiments/fastrak_eval.mli: Memcached_eval

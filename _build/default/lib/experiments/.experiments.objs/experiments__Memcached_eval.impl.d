@@ -1,0 +1,1 @@
+lib/experiments/memcached_eval.ml: Array Dcsim Host List Printf Stdlib Tabular Testbed Vswitch Workloads

@@ -1,0 +1,1 @@
+lib/experiments/memcached_eval.mli: Host Testbed Workloads

@@ -1,0 +1,1 @@
+lib/experiments/microbench.ml: Compute Dcsim Format Host List Nic Printf Rules Tabular Testbed Workloads

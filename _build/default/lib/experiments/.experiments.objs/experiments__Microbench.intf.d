@@ -1,0 +1,1 @@
+lib/experiments/microbench.mli: Compute Rules

@@ -1,0 +1,1 @@
+lib/experiments/migration_tcp.ml: Array Dcsim Format Host List Netcore Printf Rules Stdlib String Tabular Tcpmodel Testbed Tor Vswitch

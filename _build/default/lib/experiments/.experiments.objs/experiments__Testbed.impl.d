@@ -1,0 +1,1 @@
+lib/experiments/testbed.ml: Array Compute Dcsim Format Host List Netcore Printf Rules Tor Vswitch

@@ -1,0 +1,1 @@
+lib/experiments/testbed.mli: Compute Dcsim Host Netcore Rules Tor

@@ -1,0 +1,40 @@
+(** Ablations of the design choices DESIGN.md calls out.
+
+    - Scoring policy: FasTrak ranks by MFU pps (S = n x m_pps), not
+      bytes. Offloading the byte-heavy elephant (scp) instead of the
+      pps-heavy service (memcached) should barely help latency.
+    - TCAM capacity: how much hardware budget the benefit needs.
+    - Control interval: detection delay vs cadence. *)
+
+type scoring_row = {
+  policy : string;
+  offloaded : string;
+  tps : float;
+  latency_us : float;
+  cpus : float;
+}
+
+val run_scoring : unit -> scoring_row list
+(** Three policies over the Table 3 workload: offload nothing, offload
+    by pps (memcached), offload by bytes (the elephants). *)
+
+type tcam_row = {
+  capacity : int;
+  offloaded_aggregates : int;
+  latency_us : float;
+}
+
+val run_tcam : capacities:int list -> unit -> tcam_row list
+(** FasTrak under shrinking hardware budgets. *)
+
+type interval_row = {
+  epoch_sec : float;
+  first_offload_sec : float option;
+}
+
+val run_interval : epochs:float list -> unit -> interval_row list
+(** Time until the first offload lands, as a function of T. *)
+
+val print_scoring : scoring_row list -> unit
+val print_tcam : tcam_row list -> unit
+val print_interval : interval_row list -> unit

@@ -1,0 +1,105 @@
+module Engine = Dcsim.Engine
+module Simtime = Dcsim.Simtime
+module Fkey = Netcore.Fkey
+
+type result = {
+  vif_only : Memcached_eval.row;
+  fastrak : Memcached_eval.row;
+  offloaded_aggregates : int;
+  scp_median_pps : float;
+  memcached_median_pps : float;
+}
+
+(* Controller cadence scaled with the workload scale: the paper detects
+   within 10 s of a ~110 s run (T = 5 s, N = 2); the scaled run keeps
+   the detection point at a similar fraction. *)
+let scaled_config () =
+  let scale = !Memcached_eval.requests_scale in
+  (* Paper: detection lands ~10 s into a ~110 s run (T = 5 s, N = 2).
+     A run scaled by [scale] is ~110 x scale seconds, so the epoch
+     scales too, and the stats poll gap shrinks with it (it must stay
+     well under one epoch). *)
+  let epoch = 2.5 *. scale in
+  {
+    Fastrak.Config.default with
+    Fastrak.Config.epoch_period = Simtime.span_sec epoch;
+    poll_gap = Simtime.span_sec (Float.min 0.1 (epoch /. 2.5));
+    min_score = 1000.0;
+  }
+
+let profile_pps (setup : Memcached_eval.setup) rm =
+  (* Pull the demand profile of the first memcached VM from its local
+     controller: the <vm, 11211> aggregate is memcached responses, the
+     <vm, scp> aggregate the file transfer. *)
+  match
+    ( setup.Memcached_eval.mem_vms,
+      Fastrak.Rule_manager.local_controller rm ~server:"server0" )
+  with
+  | (first : Host.Server.attached) :: _, Some local -> (
+      match
+        Fastrak.Local_controller.profile local ~vm_ip:(Host.Vm.ip first.vm)
+      with
+      | None -> (0.0, 0.0)
+      | Some profile ->
+          let find port =
+            Fastrak.Demand_profile.entries profile
+            |> List.filter_map (fun (e : Fastrak.Demand_profile.entry) ->
+                   match e.pattern.Fkey.Pattern.src_port with
+                   | Some p when p = port -> Some e.median_pps
+                   | _ -> None)
+            |> function
+            | [] -> 0.0
+            | pps -> List.fold_left Float.max 0.0 pps
+          in
+          (find 46000 (* scp source port *), find Workloads.Memcached.port))
+  | _ -> (0.0, 0.0)
+
+let run () =
+  (* Row 1: VIF only — identical to the Table 3 VIF case. *)
+  let vif_only =
+    Memcached_eval.run_to_finish ~label:"VIF only"
+      (Memcached_eval.build ~mem_vm_count:4 ~vf_indices:[] ~background:`Scp
+         ~total_requests:(Memcached_eval.finish_requests ()) ())
+  in
+  (* Row 2: same start, FasTrak controllers live. *)
+  let setup =
+    Memcached_eval.build ~mem_vm_count:4 ~vf_indices:[] ~background:`Scp
+      ~total_requests:(Memcached_eval.finish_requests ()) ()
+  in
+  let tb = setup.Memcached_eval.tb in
+  let rm =
+    Fastrak.Rule_manager.create ~engine:tb.Testbed.engine
+      ~config:(scaled_config ()) ~tor:tb.Testbed.tor
+      ~servers:(Array.to_list tb.Testbed.servers)
+      ()
+  in
+  (* The controllers' hardware path tunnels for real: GRE mappings are
+     compiled from each VM's policy, which needs the peer locations. *)
+  Testbed.connect_tunnels tb;
+  Fastrak.Rule_manager.start rm;
+  (* Sample the demand profiles periodically and keep the peak medians:
+     once an aggregate is offloaded the vswitch stops seeing it, so its
+     software-side profile decays — the detection-time numbers are the
+     §6.2.1 observation. *)
+  let scp_peak = ref 0.0 and mem_peak = ref 0.0 in
+  Engine.every tb.Testbed.engine (Simtime.span_sec 0.05) (fun () ->
+      let scp, mem = profile_pps setup rm in
+      if scp > !scp_peak then scp_peak := scp;
+      if mem > !mem_peak then mem_peak := mem;
+      `Continue);
+  let fastrak = Memcached_eval.run_to_finish ~label:"VIF+FasTrak" setup in
+  let scp_median_pps, memcached_median_pps = (!scp_peak, !mem_peak) in
+  {
+    vif_only;
+    fastrak;
+    offloaded_aggregates = Fastrak.Rule_manager.offloaded_count rm;
+    scp_median_pps;
+    memcached_median_pps;
+  }
+
+let print r =
+  Memcached_eval.print_rows ~title:"Table 4: memcached under FasTrak"
+    [ r.vif_only; r.fastrak ];
+  Printf.printf
+    "offloaded aggregates: %d; detected median pps: scp=%.1f memcached=%.1f\n"
+    r.offloaded_aggregates r.scp_median_pps r.memcached_median_pps

@@ -1,0 +1,41 @@
+(** The §3 microbenchmarks: Figures 3, 4 and 5.
+
+    Each path under test is a fresh two-server testbed (Figure 2): a
+    client VM and a server VM, traffic pinned to the software VIF path
+    under one of the OVS configurations, or to the SR-IOV hardware
+    path. Three netperf shapes per path: TCP_STREAM throughput,
+    closed-loop TCP_RR latency, and 32-deep burst TCP_RR. *)
+
+type path =
+  | Ovs of Compute.Cost_params.vswitch_config
+  | Sriov of Rules.Rate_limit_spec.t
+      (** Hardware path, with an optional NIC rate limit (used by the
+          Figure 5 combined comparison). *)
+
+val path_label : path -> string
+
+type point = {
+  path : path;
+  size : int;
+  throughput_gbps : float;
+  rr_mean_us : float;
+  rr_p99_us : float;
+  burst_tps : float;
+  burst_latency_us : float;
+}
+
+val run_point :
+  ?vif_limit:Rules.Rate_limit_spec.t -> path:path -> size:int -> unit -> point
+(** Run all three netperf shapes for one (path, size). [vif_limit] is
+    the tc rate limit applied to VIF paths (Figure 5 uses 1 Gb/s). *)
+
+val fig3_paths : path list
+(** Baseline OVS, OVS+Tunneling, OVS+Rate-limiting, SR-IOV. *)
+
+val fig5_paths : path list
+(** OVS combined (tunneling + 1 Gb/s htb) vs SR-IOV with a 1 Gb/s NIC
+    limit. *)
+
+val run_fig3 : unit -> point list
+val run_fig5 : unit -> point list
+val print_points : title:string -> point list -> unit

@@ -1,0 +1,70 @@
+(** Testbed construction: the §5.1 rack in simulation.
+
+    One ToR; a configurable number of servers, each with a vswitch-owned
+    port and an SR-IOV port; VMs with policies (ACLs, rate limits,
+    tunnel mappings for every peer). Helpers pin a VM's traffic to the
+    hardware path statically (for the §3/§6.1 microbenchmarks, which
+    compare fixed paths without the FasTrak controllers). *)
+
+type t = {
+  engine : Dcsim.Engine.t;
+  tor : Tor.Tor_switch.t;
+  servers : Host.Server.t array;
+}
+
+val create :
+  ?seed:int ->
+  ?config:Compute.Cost_params.vswitch_config ->
+  ?server_count:int ->
+  ?tcam_capacity:int ->
+  unit ->
+  t
+(** Defaults: seed 42, baseline OVS config, 6 servers (as in §5.1),
+    2048 TCAM entries. *)
+
+val default_tenant : Netcore.Tenant.id
+
+type vm_spec = {
+  server : int;  (** Index into [servers]. *)
+  vm_name : string;
+  vcpus : int;
+  tenant : Netcore.Tenant.id;
+  ip_last_octet : int;  (** VM address is 10.<tenant>.0.<octet>. *)
+  tx_limit : Rules.Rate_limit_spec.t;
+  rx_limit : Rules.Rate_limit_spec.t;
+  sriov : bool;
+  acl_count : int;  (** Extra allow rules installed (10,000-rule test). *)
+}
+
+val vm_spec :
+  ?vcpus:int ->
+  ?tenant:Netcore.Tenant.id ->
+  ?tx_limit:Rules.Rate_limit_spec.t ->
+  ?rx_limit:Rules.Rate_limit_spec.t ->
+  ?sriov:bool ->
+  ?acl_count:int ->
+  server:int ->
+  name:string ->
+  ip_last_octet:int ->
+  unit ->
+  vm_spec
+
+val vm_ip : tenant:Netcore.Tenant.id -> last_octet:int -> Netcore.Ipv4.t
+
+val add_vm : t -> vm_spec -> Host.Server.attached
+
+val connect_tunnels : t -> unit
+(** Install tunnel mappings (peer VM -> server/ToR) into every VM's
+    policy, for all VM pairs created so far. Call after adding VMs and
+    before running tunneling configs. *)
+
+val force_path_vf : t -> Host.Server.attached -> unit
+(** Statically pin all of this VM's outgoing traffic to the SR-IOV path:
+    flow placer rule (any -> VF) plus the compiled VRF rules at the ToR
+    for every peer destination. Used by the path-comparison
+    microbenchmarks. *)
+
+val run_for : t -> seconds:float -> unit
+(** Advance the simulation by [seconds] from now. *)
+
+val attached_vm : Host.Server.attached -> Host.Vm.t

@@ -1,0 +1,1 @@
+lib/fabric/link.ml: Compute Dcsim Netcore Stdlib

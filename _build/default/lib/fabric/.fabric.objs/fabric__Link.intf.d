@@ -1,0 +1,1 @@
+lib/fabric/link.mli: Dcsim Netcore

@@ -1,0 +1,49 @@
+module Simtime = Dcsim.Simtime
+module Engine = Dcsim.Engine
+module Packet = Netcore.Packet
+module Hdr = Netcore.Hdr
+
+type t = {
+  engine : Engine.t;
+  link_name : string;
+  gbps : float;
+  latency : Simtime.span;
+  deliver : Packet.t -> unit;
+  wire : Compute.Cpu_pool.t;  (* 1-server queue: the wire itself *)
+  mutable packets_sent : int;
+  mutable bytes_sent : int;
+}
+
+let create ~engine ~name ~gbps ~latency ~deliver =
+  {
+    engine;
+    link_name = name;
+    gbps;
+    latency;
+    deliver;
+    wire = Compute.Cpu_pool.create ~engine ~cpus:1 ~name:(name ^ ".wire");
+    packets_sent = 0;
+    bytes_sent = 0;
+  }
+
+let wire_bytes pkt =
+  let payload = pkt.Packet.payload in
+  let frames = Stdlib.max 1 ((payload + Hdr.max_tcp_payload - 1) / Hdr.max_tcp_payload) in
+  let per_frame_overhead =
+    Packet.wire_size pkt - payload + Compute.Cost_params.wire_overhead_per_frame
+  in
+  payload + (frames * per_frame_overhead)
+
+let transmit t pkt =
+  let bytes_len = wire_bytes pkt in
+  let cost = Simtime.span_of_bytes_at_rate ~bytes_len ~gbps:t.gbps in
+  Compute.Cpu_pool.submit t.wire ~cost (fun () ->
+      t.packets_sent <- t.packets_sent + 1;
+      t.bytes_sent <- t.bytes_sent + bytes_len;
+      ignore (Engine.after t.engine t.latency (fun () -> t.deliver pkt)))
+
+let busy_seconds t = Compute.Cpu_pool.busy_seconds t.wire
+let utilization t ~over = Compute.Cpu_pool.utilization t.wire ~over
+let packets_sent t = t.packets_sent
+let bytes_sent t = t.bytes_sent
+let queue_length t = Compute.Cpu_pool.queue_length t.wire

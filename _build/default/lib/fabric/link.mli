@@ -1,0 +1,29 @@
+(** A unidirectional link: FIFO serialization at a fixed rate plus a
+    fixed propagation/forwarding latency.
+
+    The serialization stage is a single-server queue, so concurrent
+    senders on the same port contend — this is where wire-level
+    congestion appears in the model. Messages larger than one MTU frame
+    occupy the wire for the total of their frames (TSO burst). *)
+
+type t
+
+val create :
+  engine:Dcsim.Engine.t ->
+  name:string ->
+  gbps:float ->
+  latency:Dcsim.Simtime.span ->
+  deliver:(Netcore.Packet.t -> unit) ->
+  t
+
+val wire_bytes : Netcore.Packet.t -> int
+(** On-the-wire bytes of a message: payload plus per-frame headers,
+    encapsulation overheads, preamble and IFG for every MTU-sized frame
+    the message occupies. *)
+
+val transmit : t -> Netcore.Packet.t -> unit
+val busy_seconds : t -> float
+val utilization : t -> over:Dcsim.Simtime.span -> float
+val packets_sent : t -> int
+val bytes_sent : t -> int
+val queue_length : t -> int

@@ -1,0 +1,1 @@
+lib/host/bonding.ml: Format Netcore Rules

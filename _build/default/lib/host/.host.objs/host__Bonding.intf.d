@@ -1,0 +1,1 @@
+lib/host/bonding.mli: Format Netcore Rules

@@ -1,0 +1,1 @@
+lib/host/server.ml: Bonding Compute Dcsim Fabric List Netcore Nic Tor Vm Vswitch

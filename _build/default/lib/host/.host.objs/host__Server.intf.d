@@ -1,0 +1,1 @@
+lib/host/server.mli: Bonding Compute Dcsim Netcore Nic Rules Tor Vm Vswitch

@@ -1,0 +1,1 @@
+lib/host/vm.ml: Compute Dcsim Hashtbl Netcore

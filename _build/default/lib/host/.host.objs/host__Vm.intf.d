@@ -1,0 +1,1 @@
+lib/host/vm.mli: Compute Dcsim Netcore

@@ -1,0 +1,1 @@
+lib/netcore/fkey.ml: Format Hashtbl Ipv4 Printf Stdlib Tenant

@@ -1,0 +1,1 @@
+lib/netcore/fkey.mli: Format Hashtbl Ipv4 Tenant

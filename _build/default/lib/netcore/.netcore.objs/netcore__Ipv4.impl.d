@@ -1,0 +1,1 @@
+lib/netcore/ipv4.ml: Format Hashtbl Int32 Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/netcore/packet.ml: Dcsim Fkey Format Hdr Ipv4 List Tenant

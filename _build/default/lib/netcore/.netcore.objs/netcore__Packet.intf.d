@@ -1,0 +1,1 @@
+lib/netcore/packet.mli: Dcsim Fkey Format Ipv4 Tenant

@@ -1,0 +1,164 @@
+type proto = Tcp | Udp | Icmp | Other of int
+
+let proto_rank = function Tcp -> 0 | Udp -> 1 | Icmp -> 2 | Other n -> 3 + n
+
+let proto_compare a b = Stdlib.compare (proto_rank a) (proto_rank b)
+
+let proto_to_string = function
+  | Tcp -> "tcp"
+  | Udp -> "udp"
+  | Icmp -> "icmp"
+  | Other n -> Printf.sprintf "proto-%d" n
+
+type t = {
+  src_ip : Ipv4.t;
+  dst_ip : Ipv4.t;
+  src_port : int;
+  dst_port : int;
+  proto : proto;
+  tenant : Tenant.id;
+}
+
+let make ~src_ip ~dst_ip ~src_port ~dst_port ~proto ~tenant =
+  { src_ip; dst_ip; src_port; dst_port; proto; tenant }
+
+let reverse t =
+  {
+    t with
+    src_ip = t.dst_ip;
+    dst_ip = t.src_ip;
+    src_port = t.dst_port;
+    dst_port = t.src_port;
+  }
+
+let compare a b =
+  let c = Ipv4.compare a.src_ip b.src_ip in
+  if c <> 0 then c
+  else begin
+    let c = Ipv4.compare a.dst_ip b.dst_ip in
+    if c <> 0 then c
+    else begin
+      let c = Stdlib.compare a.src_port b.src_port in
+      if c <> 0 then c
+      else begin
+        let c = Stdlib.compare a.dst_port b.dst_port in
+        if c <> 0 then c
+        else begin
+          let c = proto_compare a.proto b.proto in
+          if c <> 0 then c else Tenant.compare a.tenant b.tenant
+        end
+      end
+    end
+  end
+
+let equal a b = compare a b = 0
+
+let hash t =
+  Hashtbl.hash
+    ( Ipv4.hash t.src_ip,
+      Ipv4.hash t.dst_ip,
+      t.src_port,
+      t.dst_port,
+      proto_rank t.proto,
+      Tenant.hash t.tenant )
+
+let pp ppf t =
+  Format.fprintf ppf "%a[%a:%d -> %a:%d %s]" Tenant.pp t.tenant Ipv4.pp
+    t.src_ip t.src_port Ipv4.pp t.dst_ip t.dst_port (proto_to_string t.proto)
+
+module Table = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)
+
+module Pattern = struct
+  type fkey = t
+
+  type t = {
+    src_ip : Ipv4.t option;
+    dst_ip : Ipv4.t option;
+    src_port : int option;
+    dst_port : int option;
+    proto : proto option;
+    tenant : Tenant.id option;
+  }
+
+  let any =
+    {
+      src_ip = None;
+      dst_ip = None;
+      src_port = None;
+      dst_port = None;
+      proto = None;
+      tenant = None;
+    }
+
+  let exact (k : fkey) =
+    {
+      src_ip = Some k.src_ip;
+      dst_ip = Some k.dst_ip;
+      src_port = Some k.src_port;
+      dst_port = Some k.dst_port;
+      proto = Some k.proto;
+      tenant = Some k.tenant;
+    }
+
+  let field_matches eq pattern value =
+    match pattern with None -> true | Some p -> eq p value
+
+  let matches p (k : fkey) =
+    field_matches Ipv4.equal p.src_ip k.src_ip
+    && field_matches Ipv4.equal p.dst_ip k.dst_ip
+    && field_matches ( = ) p.src_port k.src_port
+    && field_matches ( = ) p.dst_port k.dst_port
+    && field_matches (fun a b -> proto_compare a b = 0) p.proto k.proto
+    && field_matches Tenant.equal p.tenant k.tenant
+
+  let specificity p =
+    (match p.src_ip with None -> 0 | Some _ -> 1)
+    + (match p.dst_ip with None -> 0 | Some _ -> 1)
+    + (match p.src_port with None -> 0 | Some _ -> 1)
+    + (match p.dst_port with None -> 0 | Some _ -> 1)
+    + (match p.proto with None -> 0 | Some _ -> 1)
+    + (match p.tenant with None -> 0 | Some _ -> 1)
+
+  let src_aggregate (k : fkey) =
+    { any with src_ip = Some k.src_ip; src_port = Some k.src_port; tenant = Some k.tenant }
+
+  let dst_aggregate (k : fkey) =
+    { any with dst_ip = Some k.dst_ip; dst_port = Some k.dst_port; tenant = Some k.tenant }
+
+  let from_vm ip tenant = { any with src_ip = Some ip; tenant = Some tenant }
+  let to_vm ip tenant = { any with dst_ip = Some ip; tenant = Some tenant }
+
+  let field_subset eq a b =
+    match (a, b) with
+    | _, None -> true
+    | None, Some _ -> false
+    | Some x, Some y -> eq x y
+
+  let is_subset p ~of_ =
+    field_subset Ipv4.equal p.src_ip of_.src_ip
+    && field_subset Ipv4.equal p.dst_ip of_.dst_ip
+    && field_subset ( = ) p.src_port of_.src_port
+    && field_subset ( = ) p.dst_port of_.dst_port
+    && field_subset (fun a b -> proto_compare a b = 0) p.proto of_.proto
+    && field_subset Tenant.equal p.tenant of_.tenant
+
+  let compare a b = Stdlib.compare a b
+  let equal a b = compare a b = 0
+
+  let pp_field pp_v ppf = function
+    | None -> Format.pp_print_string ppf "*"
+    | Some v -> pp_v ppf v
+
+  let pp ppf p =
+    Format.fprintf ppf "{%a %a:%a -> %a:%a %a}"
+      (pp_field Tenant.pp) p.tenant (pp_field Ipv4.pp) p.src_ip
+      (pp_field Format.pp_print_int) p.src_port (pp_field Ipv4.pp) p.dst_ip
+      (pp_field Format.pp_print_int) p.dst_port
+      (pp_field (fun ppf pr -> Format.pp_print_string ppf (proto_to_string pr)))
+      p.proto
+end

@@ -1,0 +1,84 @@
+(** Flow keys.
+
+    The paper specifies a flow by a 6-tuple: source and destination IPs,
+    L4 ports, L4 protocol and a tenant ID (§4.3.1). Flow {e aggregates}
+    are wildcarded patterns over the same fields — e.g. all flows of one
+    service are <src VM IP, src L4 port, tenant> with the rest wild. *)
+
+type proto = Tcp | Udp | Icmp | Other of int
+
+val proto_compare : proto -> proto -> int
+val proto_to_string : proto -> string
+
+type t = {
+  src_ip : Ipv4.t;
+  dst_ip : Ipv4.t;
+  src_port : int;
+  dst_port : int;
+  proto : proto;
+  tenant : Tenant.id;
+}
+
+val make :
+  src_ip:Ipv4.t ->
+  dst_ip:Ipv4.t ->
+  src_port:int ->
+  dst_port:int ->
+  proto:proto ->
+  tenant:Tenant.id ->
+  t
+
+val reverse : t -> t
+(** Swap source and destination — the key of the return traffic. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+
+module Table : Hashtbl.S with type key = t
+(** Hash table keyed by exact flow — the O(1) fast-path lookup structure
+    used by both OVS's kernel datapath and the flow placer. *)
+
+module Pattern : sig
+  (** Wildcard pattern over the 6-tuple; [None] fields match anything. *)
+
+  type fkey := t
+
+  type t = {
+    src_ip : Ipv4.t option;
+    dst_ip : Ipv4.t option;
+    src_port : int option;
+    dst_port : int option;
+    proto : proto option;
+    tenant : Tenant.id option;
+  }
+
+  val any : t
+  val exact : fkey -> t
+  val matches : t -> fkey -> bool
+
+  val specificity : t -> int
+  (** Number of concrete fields, 0–6. Used as a default rule priority:
+      more specific patterns win. *)
+
+  val src_aggregate : fkey -> t
+  (** <source IP, source L4 port, tenant> with the rest wild — the
+      per-VM-per-application aggregation rule of thumb from §4.3.1. *)
+
+  val dst_aggregate : fkey -> t
+  (** <destination IP, destination L4 port, tenant> with the rest wild. *)
+
+  val from_vm : Ipv4.t -> Tenant.id -> t
+  (** All flows sourced by one VM. *)
+
+  val to_vm : Ipv4.t -> Tenant.id -> t
+  (** All flows destined to one VM. *)
+
+  val is_subset : t -> of_:t -> bool
+  (** [is_subset p ~of_:q]: every flow matching [p] also matches [q]. *)
+
+  val compare : t -> t -> int
+  val equal : t -> t -> bool
+  val pp : Format.formatter -> t -> unit
+end

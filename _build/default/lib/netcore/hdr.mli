@@ -1,0 +1,38 @@
+(** Wire-format header sizes, in bytes.
+
+    Used to compute on-the-wire packet sizes, serialization delays and
+    encapsulation overheads. MTU is 1500 as in the paper's testbed. *)
+
+val mtu : int
+val ethernet : int
+(** Ethernet header + FCS (18) — preamble/IFG are accounted in the link
+    model, not here. *)
+
+val vlan_tag : int
+val ipv4 : int
+val tcp : int
+(** Without options; the simulator does not model SACK blocks etc. *)
+
+val udp : int
+val gre : int
+(** GRE with a 4-byte key (carries the tenant id) — RFC 1701 style. *)
+
+val vxlan : int
+(** VXLAN = outer UDP (8) + VXLAN header (8). Outer IP/Ethernet are
+    added separately when computing the full encapsulated frame. *)
+
+val tcp_frame : payload:int -> int
+(** Total wire bytes of a plain TCP segment carrying [payload] bytes. *)
+
+val tcp_frame_vxlan : payload:int -> int
+(** Same segment VXLAN-encapsulated (outer Ethernet+IP+UDP+VXLAN). *)
+
+val tcp_frame_gre : payload:int -> int
+(** Same segment GRE-encapsulated at the ToR (outer IP+GRE). *)
+
+val max_tcp_payload : int
+(** MSS: MTU minus IP and TCP headers. *)
+
+val segments_of : data:int -> int
+(** Number of MSS-sized segments needed for [data] bytes (>= 1 segment
+    for 0-byte sends is not granted: [data] must be > 0). *)

@@ -1,0 +1,1 @@
+lib/nic/sriov.ml: Compute Dcsim Fabric Hashtbl Int32 List Netcore Rules Shaping

@@ -1,0 +1,1 @@
+lib/nic/sriov.mli: Compute Dcsim Fabric Netcore Rules

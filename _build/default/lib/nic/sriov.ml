@@ -1,0 +1,104 @@
+module Simtime = Dcsim.Simtime
+module Engine = Dcsim.Engine
+module Packet = Netcore.Packet
+module Cost = Compute.Cost_params
+
+type vf = {
+  mac : Netcore.Mac.t;
+  vlan : int;
+  tenant : Netcore.Tenant.id;
+  vm_ip : Netcore.Ipv4.t;
+  deliver : Packet.t -> unit;
+  tx_shaper : Shaping.Shaper.t;
+  rx_shaper : Shaping.Shaper.t;
+}
+
+type t = {
+  engine : Engine.t;
+  max_vfs : int;
+  host_pool : Compute.Cpu_pool.t;
+  wire : Fabric.Link.t;
+  mutable vfs : vf list;
+  steering : (int * int, vf) Hashtbl.t;  (* (vlan, ip) -> vf *)
+  mutable dropped : int;
+}
+
+let create ~engine ?(max_vfs = 64) ~host_pool ~wire () =
+  {
+    engine;
+    max_vfs;
+    host_pool;
+    wire;
+    vfs = [];
+    steering = Hashtbl.create 16;
+    dropped = 0;
+  }
+
+let allocate_vf t ~mac ~vlan ~tenant ~vm_ip ~deliver =
+  if List.length t.vfs >= t.max_vfs then Error `No_vfs_left
+  else begin
+    let interrupt_then_deliver pkt =
+      (* With SR-IOV the hypervisor only isolates interrupts (§2.2). *)
+      Compute.Cpu_pool.submit t.host_pool ~cost:Cost.vf_rx_host_interrupt_cost
+        (fun () -> deliver pkt)
+    in
+    let vf_ref = ref None in
+    let vf =
+      {
+        mac;
+        vlan;
+        tenant;
+        vm_ip;
+        deliver = interrupt_then_deliver;
+        tx_shaper =
+          Shaping.Shaper.create ~engine:t.engine
+            ~spec:Rules.Rate_limit_spec.unlimited
+            ~forward:(fun pkt -> Fabric.Link.transmit t.wire pkt)
+            ();
+        rx_shaper =
+          Shaping.Shaper.create ~engine:t.engine
+            ~spec:Rules.Rate_limit_spec.unlimited
+            ~forward:(fun pkt ->
+              match !vf_ref with
+              | Some v -> v.deliver pkt
+              | None -> assert false)
+            ();
+      }
+    in
+    vf_ref := Some vf;
+    t.vfs <- vf :: t.vfs;
+    Hashtbl.replace t.steering
+      (vlan, Int32.to_int (Netcore.Ipv4.to_int32 vm_ip))
+      vf;
+    Ok vf
+  end
+
+let vf_count t = List.length t.vfs
+let max_vfs t = t.max_vfs
+let set_vf_tx_limit vf spec = Shaping.Shaper.set_spec vf.tx_shaper spec
+let set_vf_rx_limit vf spec = Shaping.Shaper.set_spec vf.rx_shaper spec
+let vf_tx_limit vf = Shaping.Shaper.spec vf.tx_shaper
+let vf_tx_backlogged_seconds vf = Shaping.Shaper.backlogged_seconds vf.tx_shaper
+let vf_rx_backlogged_seconds vf = Shaping.Shaper.backlogged_seconds vf.rx_shaper
+let vf_tx_bytes vf = Shaping.Shaper.forwarded_bytes vf.tx_shaper
+let vf_rx_bytes vf = Shaping.Shaper.forwarded_bytes vf.rx_shaper
+let vf_vlan vf = vf.vlan
+
+let transmit_from_vf vf pkt =
+  Packet.push_encap pkt (Packet.Vlan vf.vlan);
+  Shaping.Shaper.enqueue vf.tx_shaper pkt
+
+let receive_from_wire t pkt =
+  match Packet.outer_encap pkt with
+  | Some (Packet.Vlan vlan) ->
+      let dst = pkt.Packet.flow.Netcore.Fkey.dst_ip in
+      (match
+         Hashtbl.find_opt t.steering (vlan, Int32.to_int (Netcore.Ipv4.to_int32 dst))
+       with
+      | Some vf ->
+          ignore (Packet.pop_encap pkt);
+          Shaping.Shaper.enqueue vf.rx_shaper pkt
+      | None -> t.dropped <- t.dropped + 1)
+  | Some (Packet.Gre _ | Packet.Vxlan _) | None -> t.dropped <- t.dropped + 1
+
+let packets_dropped t = t.dropped

@@ -1,0 +1,1 @@
+lib/openflow/channel.ml: Dcsim

@@ -1,0 +1,1 @@
+lib/openflow/messages.ml: Format List Netcore

@@ -1,0 +1,1 @@
+lib/openflow/messages.mli: Format Netcore

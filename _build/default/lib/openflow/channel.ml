@@ -1,0 +1,26 @@
+module Engine = Dcsim.Engine
+module Simtime = Dcsim.Simtime
+
+type 'msg t = {
+  engine : Engine.t;
+  latency : Simtime.span;
+  handler : 'msg -> unit;
+  mutable sent : int;
+  (* In-order delivery: if two sends race, the second is scheduled no
+     earlier than the first's delivery instant. *)
+  mutable last_delivery : Simtime.t;
+}
+
+let create ~engine ~latency ~handler =
+  { engine; latency; handler; sent = 0; last_delivery = Simtime.zero }
+
+let send t msg =
+  t.sent <- t.sent + 1;
+  let earliest = Simtime.add (Engine.now t.engine) t.latency in
+  let at =
+    if Simtime.(earliest < t.last_delivery) then t.last_delivery else earliest
+  in
+  t.last_delivery <- at;
+  ignore (Engine.at t.engine at (fun () -> t.handler msg))
+
+let messages_sent t = t.sent

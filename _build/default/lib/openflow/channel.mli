@@ -1,0 +1,17 @@
+(** A simulated control channel with delivery latency.
+
+    Connects FasTrak controllers to each other and to the datapath
+    elements they program. Messages are delivered in order after a
+    fixed latency; the channel never drops (control traffic rides a
+    reliable transport). *)
+
+type 'msg t
+
+val create :
+  engine:Dcsim.Engine.t ->
+  latency:Dcsim.Simtime.span ->
+  handler:('msg -> unit) ->
+  'msg t
+
+val send : 'msg t -> 'msg -> unit
+val messages_sent : 'msg t -> int

@@ -1,0 +1,31 @@
+type path = To_vif | To_vf
+
+type flow_mod = {
+  pattern : Netcore.Fkey.Pattern.t;
+  priority : int;
+  path : path;
+  command : [ `Add | `Delete ];
+}
+
+type flow_stats_entry = {
+  flow : Netcore.Fkey.t;
+  packets : int;
+  bytes : int;
+}
+
+type t =
+  | Flow_mod of flow_mod
+  | Flow_stats_request of { request_id : int }
+  | Flow_stats_reply of { request_id : int; entries : flow_stats_entry list }
+
+let pp ppf = function
+  | Flow_mod m ->
+      Format.fprintf ppf "flow_mod %s %a prio=%d -> %s"
+        (match m.command with `Add -> "add" | `Delete -> "del")
+        Netcore.Fkey.Pattern.pp m.pattern m.priority
+        (match m.path with To_vif -> "vif" | To_vf -> "vf")
+  | Flow_stats_request { request_id } ->
+      Format.fprintf ppf "stats_request #%d" request_id
+  | Flow_stats_reply { request_id; entries } ->
+      Format.fprintf ppf "stats_reply #%d (%d entries)" request_id
+        (List.length entries)

@@ -1,0 +1,29 @@
+(** OpenFlow-style message vocabulary used by the FasTrak controllers.
+
+    The flow placer "exposes an OpenFlow interface, allowing the
+    FasTrak rule manager to direct a subset of flows via the SR-IOV
+    interface" (§4.1.1); controllers also poll flow statistics the way
+    the Floodlight-based TOR controller issues OpenFlow table/flow
+    stats requests (§5.2). *)
+
+type path = To_vif | To_vf
+
+type flow_mod = {
+  pattern : Netcore.Fkey.Pattern.t;
+  priority : int;
+  path : path;
+  command : [ `Add | `Delete ];
+}
+
+type flow_stats_entry = {
+  flow : Netcore.Fkey.t;
+  packets : int;
+  bytes : int;
+}
+
+type t =
+  | Flow_mod of flow_mod
+  | Flow_stats_request of { request_id : int }
+  | Flow_stats_reply of { request_id : int; entries : flow_stats_entry list }
+
+val pp : Format.formatter -> t -> unit

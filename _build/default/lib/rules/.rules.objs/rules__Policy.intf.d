@@ -1,0 +1,1 @@
+lib/rules/policy.mli: Format Netcore Qos_rule Rate_limit_spec Security_rule Tunnel_rule

@@ -1,0 +1,1 @@
+lib/rules/qos_rule.mli: Format Netcore

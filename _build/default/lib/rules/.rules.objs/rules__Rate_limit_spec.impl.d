@@ -1,0 +1,1 @@
+lib/rules/rate_limit_spec.ml: Format Netcore Stdlib

@@ -1,0 +1,1 @@
+lib/rules/rule_compiler.ml: Format List Netcore Policy Qos_rule Security_rule Tunnel_rule

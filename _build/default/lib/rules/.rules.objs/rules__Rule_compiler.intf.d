@@ -1,0 +1,1 @@
+lib/rules/rule_compiler.mli: Format Netcore Policy Tunnel_rule

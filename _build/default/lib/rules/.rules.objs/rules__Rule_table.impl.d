@@ -1,0 +1,1 @@
+lib/rules/rule_table.ml: List Netcore

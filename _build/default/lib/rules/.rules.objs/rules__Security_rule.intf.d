@@ -1,0 +1,1 @@
+lib/rules/security_rule.mli: Format Netcore

@@ -1,0 +1,1 @@
+lib/rules/tunnel_rule.ml: Format Hashtbl Int32 Netcore

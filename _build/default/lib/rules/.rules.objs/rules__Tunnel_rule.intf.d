@@ -1,0 +1,1 @@
+lib/rules/tunnel_rule.mli: Format Netcore

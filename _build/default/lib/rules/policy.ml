@@ -1,0 +1,85 @@
+module Fkey = Netcore.Fkey
+
+type t = {
+  tenant : Netcore.Tenant.id;
+  vm_ip : Netcore.Ipv4.t;
+  mutable tx_limit : Rate_limit_spec.t;
+  mutable rx_limit : Rate_limit_spec.t;
+  mutable acls : Security_rule.t list;  (* Priority desc, insertion-newest first among ties. *)
+  mutable qos : Qos_rule.t list;
+  tunnels : Tunnel_rule.Map.t;
+}
+
+let create ~tenant ~vm_ip ?(tx_limit = Rate_limit_spec.unlimited)
+    ?(rx_limit = Rate_limit_spec.unlimited) () =
+  {
+    tenant;
+    vm_ip;
+    tx_limit;
+    rx_limit;
+    acls = [ Security_rule.deny_all tenant ];
+    qos = [];
+    tunnels = Tunnel_rule.Map.create ();
+  }
+
+let tenant t = t.tenant
+let vm_ip t = t.vm_ip
+let tx_limit t = t.tx_limit
+let rx_limit t = t.rx_limit
+let set_tx_limit t l = t.tx_limit <- l
+let set_rx_limit t l = t.rx_limit <- l
+
+let insert_by_priority priority_of rule rules =
+  let rec place = function
+    | [] -> [ rule ]
+    | r :: rest as l ->
+        if priority_of rule >= priority_of r then rule :: l else r :: place rest
+  in
+  place rules
+
+let add_acl t rule =
+  t.acls <- insert_by_priority (fun (r : Security_rule.t) -> r.priority) rule t.acls
+
+let add_qos t rule =
+  t.qos <- insert_by_priority (fun (r : Qos_rule.t) -> r.priority) rule t.qos
+
+let install_tunnel t rule = Tunnel_rule.Map.install t.tunnels rule
+
+let remove_tunnel t ~vm_ip =
+  Tunnel_rule.Map.remove t.tunnels ~tenant:t.tenant ~vm_ip
+
+let acl_count t = List.length t.acls
+let acls t = t.acls
+let qos_rules t = t.qos
+
+let tunnel_lookup t ~dst_ip =
+  Tunnel_rule.Map.lookup t.tunnels ~tenant:t.tenant ~vm_ip:dst_ip
+
+type verdict = {
+  action : Security_rule.action;
+  queue : int;
+  tunnel : Tunnel_rule.endpoint option;
+}
+
+let matching_acl t key = List.find_opt (fun r -> Security_rule.matches r key) t.acls
+
+let classify t key =
+  let action =
+    match matching_acl t key with
+    | Some r -> r.Security_rule.action
+    | None -> Security_rule.Deny
+  in
+  let queue =
+    match List.find_opt (fun r -> Qos_rule.matches r key) t.qos with
+    | Some r -> r.Qos_rule.queue
+    | None -> 0
+  in
+  let tunnel = tunnel_lookup t ~dst_ip:key.Fkey.dst_ip in
+  { action; queue; tunnel }
+
+let pp ppf t =
+  Format.fprintf ppf "policy %a/%a: %d acls, %d qos, %d tunnels, tx %a rx %a"
+    Netcore.Tenant.pp t.tenant Netcore.Ipv4.pp t.vm_ip (List.length t.acls)
+    (List.length t.qos)
+    (Tunnel_rule.Map.size t.tunnels)
+    Rate_limit_spec.pp t.tx_limit Rate_limit_spec.pp t.rx_limit

@@ -1,0 +1,52 @@
+(** The complete network-virtualization policy of one VM.
+
+    This is the "unified set" FasTrak manages (§1): security ACLs, QoS
+    rules, tunnel mappings and the contracted per-interface rate limits.
+    The vswitch enforces it in software; the rule compiler extracts the
+    flow-specific slice for hardware offload. *)
+
+type t
+
+val create :
+  tenant:Netcore.Tenant.id ->
+  vm_ip:Netcore.Ipv4.t ->
+  ?tx_limit:Rate_limit_spec.t ->
+  ?rx_limit:Rate_limit_spec.t ->
+  unit ->
+  t
+(** Limits default to {!Rate_limit_spec.unlimited}. A freshly created
+    policy contains the default-deny ACL backstop only. *)
+
+val tenant : t -> Netcore.Tenant.id
+val vm_ip : t -> Netcore.Ipv4.t
+val tx_limit : t -> Rate_limit_spec.t
+val rx_limit : t -> Rate_limit_spec.t
+val set_tx_limit : t -> Rate_limit_spec.t -> unit
+val set_rx_limit : t -> Rate_limit_spec.t -> unit
+
+val add_acl : t -> Security_rule.t -> unit
+val add_qos : t -> Qos_rule.t -> unit
+val install_tunnel : t -> Tunnel_rule.t -> unit
+val remove_tunnel : t -> vm_ip:Netcore.Ipv4.t -> unit
+val acl_count : t -> int
+val acls : t -> Security_rule.t list
+val qos_rules : t -> Qos_rule.t list
+val tunnel_lookup : t -> dst_ip:Netcore.Ipv4.t -> Tunnel_rule.endpoint option
+
+type verdict = {
+  action : Security_rule.action;
+  queue : int;  (** QoS queue; 0 when no rule matches. *)
+  tunnel : Tunnel_rule.endpoint option;
+      (** Destination location, [None] if the mapping is unknown (packet
+          must be dropped or sent to the controller). *)
+}
+
+val classify : t -> Netcore.Fkey.t -> verdict
+(** Full policy evaluation for one flow key. Deterministic: highest
+    priority ACL wins, ties broken by insertion order (later wins). *)
+
+val matching_acl : t -> Netcore.Fkey.t -> Security_rule.t option
+(** The specific ACL that determines the verdict — what the rule
+    compiler copies into the ToR. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,15 @@
+type t = { pattern : Netcore.Fkey.Pattern.t; queue : int; priority : int }
+
+let make ?priority pattern ~queue =
+  let priority =
+    match priority with
+    | Some p -> p
+    | None -> Netcore.Fkey.Pattern.specificity pattern
+  in
+  { pattern; queue; priority }
+
+let matches t key = Netcore.Fkey.Pattern.matches t.pattern key
+
+let pp ppf t =
+  Format.fprintf ppf "qos[%d] %a -> queue %d" t.priority
+    Netcore.Fkey.Pattern.pp t.pattern t.queue

@@ -1,0 +1,11 @@
+(** Tenant QoS rules: map flows to switch/vswitch service queues. *)
+
+type t = {
+  pattern : Netcore.Fkey.Pattern.t;
+  queue : int;  (** Target QoS queue index (0 = best effort). *)
+  priority : int;
+}
+
+val make : ?priority:int -> Netcore.Fkey.Pattern.t -> queue:int -> t
+val matches : t -> Netcore.Fkey.t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,31 @@
+type endpoint = { server_ip : Netcore.Ipv4.t; tor_ip : Netcore.Ipv4.t }
+
+type t = {
+  tenant : Netcore.Tenant.id;
+  vm_ip : Netcore.Ipv4.t;
+  endpoint : endpoint;
+}
+
+let make ~tenant ~vm_ip endpoint = { tenant; vm_ip; endpoint }
+
+let pp ppf t =
+  Format.fprintf ppf "tunnel %a/%a -> server %a tor %a" Netcore.Tenant.pp
+    t.tenant Netcore.Ipv4.pp t.vm_ip Netcore.Ipv4.pp t.endpoint.server_ip
+    Netcore.Ipv4.pp t.endpoint.tor_ip
+
+module Map = struct
+  type rule = t
+  type t = (int * int, endpoint) Hashtbl.t
+
+  let key ~tenant ~vm_ip =
+    (Netcore.Tenant.to_int tenant, Int32.to_int (Netcore.Ipv4.to_int32 vm_ip))
+
+  let create () : t = Hashtbl.create 64
+
+  let install t (r : rule) =
+    Hashtbl.replace t (key ~tenant:r.tenant ~vm_ip:r.vm_ip) r.endpoint
+
+  let remove t ~tenant ~vm_ip = Hashtbl.remove t (key ~tenant ~vm_ip)
+  let lookup t ~tenant ~vm_ip = Hashtbl.find_opt t (key ~tenant ~vm_ip)
+  let size t = Hashtbl.length t
+end

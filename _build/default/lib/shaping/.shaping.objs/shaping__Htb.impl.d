@@ -1,0 +1,1 @@
+lib/shaping/htb.ml: Dcsim List Token_bucket

@@ -1,0 +1,1 @@
+lib/shaping/htb.mli: Dcsim Rules

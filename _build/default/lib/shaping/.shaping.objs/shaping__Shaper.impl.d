@@ -1,0 +1,1 @@
+lib/shaping/shaper.ml: Dcsim Netcore Queue Token_bucket

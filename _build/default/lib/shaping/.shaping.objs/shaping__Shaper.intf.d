@@ -1,0 +1,1 @@
+lib/shaping/shaper.mli: Dcsim Netcore Rules

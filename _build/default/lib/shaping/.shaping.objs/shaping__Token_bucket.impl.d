@@ -1,0 +1,1 @@
+lib/shaping/token_bucket.ml: Dcsim Float Rules

@@ -1,0 +1,1 @@
+lib/shaping/token_bucket.mli: Dcsim Rules

@@ -1,0 +1,55 @@
+module Simtime = Dcsim.Simtime
+
+type leaf = {
+  mutable rate_bucket : Token_bucket.t;  (* guaranteed share *)
+  mutable ceil_bucket : Token_bucket.t;  (* absolute cap *)
+}
+
+type t = { root : Token_bucket.t; mutable leaves : leaf list }
+
+let create ~link ~now = { root = Token_bucket.create link ~now; leaves = [] }
+
+let add_leaf t ~rate ?ceil ~now () =
+  let ceil =
+    match ceil with Some c -> c | None -> Token_bucket.spec t.root
+  in
+  let leaf =
+    {
+      rate_bucket = Token_bucket.create rate ~now;
+      ceil_bucket = Token_bucket.create ceil ~now;
+    }
+  in
+  t.leaves <- leaf :: t.leaves;
+  leaf
+
+let set_leaf_rate t leaf ~rate ?ceil ~now () =
+  let ceil = match ceil with Some c -> c | None -> Token_bucket.spec t.root in
+  Token_bucket.set_spec leaf.rate_bucket rate ~now;
+  Token_bucket.set_spec leaf.ceil_bucket ceil ~now
+
+let leaf_rate leaf = Token_bucket.spec leaf.rate_bucket
+
+let admit t leaf ~now ~bytes_len =
+  (* A packet must always fit under the leaf's ceil and the link root.
+     Within the guaranteed rate the leaf does not need root spare beyond
+     physical capacity; above it, it borrows, which is the same check in
+     this two-level model since root tokens are physical capacity. *)
+  if Token_bucket.available leaf.ceil_bucket ~now < float_of_int bytes_len then
+    false
+  else if Token_bucket.available t.root ~now < float_of_int bytes_len then false
+  else begin
+    ignore (Token_bucket.try_consume leaf.ceil_bucket ~now ~bytes_len);
+    ignore (Token_bucket.try_consume t.root ~now ~bytes_len);
+    (* Track guaranteed-share usage so within-rate senders are unaffected
+       by borrowers: consume_forced lets the bucket go negative, recording
+       that the leaf is living off borrowed tokens. *)
+    Token_bucket.consume_forced leaf.rate_bucket ~now ~bytes_len;
+    true
+  end
+
+let delay_until_admit t leaf ~now ~bytes_len =
+  let d1 = Token_bucket.time_until_conform leaf.ceil_bucket ~now ~bytes_len in
+  let d2 = Token_bucket.time_until_conform t.root ~now ~bytes_len in
+  Simtime.span_max d1 d2
+
+let leaf_count t = List.length t.leaves

@@ -1,0 +1,39 @@
+(** Hierarchical token bucket, modelled on tc htb (§2.2 "OVS+Rate
+    limiting" configures interface limits with tc).
+
+    A two-level hierarchy: a root class bounded by the physical link
+    rate, and leaf classes (one per VM interface) with a guaranteed
+    [rate] and a borrowing cap [ceil]. A leaf may send within its own
+    rate unconditionally; between rate and ceil it must borrow — which
+    succeeds only when the root has spare tokens. This reproduces the
+    oversubscription behaviour of §3.2.2 (three 5 Gb/s VMs sharing a
+    10 Gb/s port cannot all reach their ceil). *)
+
+type t
+type leaf
+
+val create : link:Rules.Rate_limit_spec.t -> now:Dcsim.Simtime.t -> t
+
+val add_leaf :
+  t ->
+  rate:Rules.Rate_limit_spec.t ->
+  ?ceil:Rules.Rate_limit_spec.t ->
+  now:Dcsim.Simtime.t ->
+  unit ->
+  leaf
+(** [ceil] defaults to the link rate. *)
+
+val set_leaf_rate :
+  t -> leaf -> rate:Rules.Rate_limit_spec.t -> ?ceil:Rules.Rate_limit_spec.t ->
+  now:Dcsim.Simtime.t -> unit -> unit
+
+val leaf_rate : leaf -> Rules.Rate_limit_spec.t
+
+val admit : t -> leaf -> now:Dcsim.Simtime.t -> bytes_len:int -> bool
+(** Consume from the leaf (and root when borrowing); false = must wait. *)
+
+val delay_until_admit :
+  t -> leaf -> now:Dcsim.Simtime.t -> bytes_len:int -> Dcsim.Simtime.span
+(** Conservative bound on the wait before [admit] can succeed. *)
+
+val leaf_count : t -> int

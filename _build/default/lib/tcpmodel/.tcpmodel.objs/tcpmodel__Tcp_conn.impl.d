@@ -1,0 +1,1 @@
+lib/tcpmodel/tcp_conn.ml: Dcsim Float List Netcore Option Stdlib

@@ -1,0 +1,1 @@
+lib/tcpmodel/tcp_conn.mli: Dcsim Netcore

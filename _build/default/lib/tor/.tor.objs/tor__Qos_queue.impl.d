@@ -1,0 +1,1 @@
+lib/tor/qos_queue.ml: Array Dcsim Fabric Netcore Queue Stdlib

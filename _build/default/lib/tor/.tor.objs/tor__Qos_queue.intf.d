@@ -1,0 +1,1 @@
+lib/tor/qos_queue.mli: Dcsim Fabric Netcore

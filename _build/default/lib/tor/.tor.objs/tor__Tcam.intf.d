@@ -1,0 +1,1 @@
+lib/tor/tcam.mli:

@@ -1,0 +1,1 @@
+lib/tor/tor_switch.ml: Compute Dcsim Fabric Hashtbl Int32 List Netcore Printf Qos_queue Rules Stdlib Tcam Vrf Vswitch

@@ -1,0 +1,1 @@
+lib/tor/tor_switch.mli: Dcsim Netcore Tcam Vrf

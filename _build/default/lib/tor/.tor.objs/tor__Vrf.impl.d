@@ -1,0 +1,1 @@
+lib/tor/vrf.ml: Hashtbl Int32 List Netcore Option Rules Tcam

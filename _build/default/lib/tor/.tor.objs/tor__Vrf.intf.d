@@ -1,0 +1,1 @@
+lib/tor/vrf.mli: Netcore Rules Tcam

@@ -1,0 +1,63 @@
+module Simtime = Dcsim.Simtime
+module Engine = Dcsim.Engine
+module Packet = Netcore.Packet
+
+type t = {
+  engine : Engine.t;
+  queues : Packet.t Queue.t array;
+  link : Fabric.Link.t;
+  gbps : float;
+  mutable busy : bool;
+  mutable sent : int;
+}
+
+let create ~engine ~classes ~link ~gbps =
+  if classes <= 0 then invalid_arg "Qos_queue.create: classes must be positive";
+  {
+    engine;
+    queues = Array.init classes (fun _ -> Queue.create ());
+    link;
+    gbps;
+    busy = false;
+    sent = 0;
+  }
+
+let classes t = Array.length t.queues
+
+let highest_nonempty t =
+  let rec scan i =
+    if i < 0 then None
+    else if not (Queue.is_empty t.queues.(i)) then Some i
+    else scan (i - 1)
+  in
+  scan (Array.length t.queues - 1)
+
+let rec pump t =
+  match highest_nonempty t with
+  | None -> t.busy <- false
+  | Some i ->
+      let pkt = Queue.pop t.queues.(i) in
+      let bytes_len = Fabric.Link.wire_bytes pkt in
+      let serialization =
+        Simtime.span_of_bytes_at_rate ~bytes_len ~gbps:t.gbps
+      in
+      t.sent <- t.sent + 1;
+      Fabric.Link.transmit t.link pkt;
+      ignore (Engine.after t.engine serialization (fun () -> pump t))
+
+let enqueue t ~queue pkt =
+  let queue = Stdlib.max 0 (Stdlib.min queue (Array.length t.queues - 1)) in
+  Queue.push pkt t.queues.(queue);
+  if not t.busy then begin
+    t.busy <- true;
+    pump t
+  end
+
+let queue_length t ~queue =
+  if queue < 0 || queue >= Array.length t.queues then 0
+  else Queue.length t.queues.(queue)
+
+let total_queued t =
+  Array.fold_left (fun acc q -> acc + Queue.length q) 0 t.queues
+
+let packets_sent t = t.sent

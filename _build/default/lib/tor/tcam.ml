@@ -1,0 +1,21 @@
+type t = { capacity : int; mutable used : int }
+
+let create ~capacity =
+  if capacity < 0 then invalid_arg "Tcam.create: negative capacity";
+  { capacity; used = 0 }
+
+let capacity t = t.capacity
+let used t = t.used
+let available t = t.capacity - t.used
+
+let reserve t n =
+  if n < 0 then invalid_arg "Tcam.reserve: negative count";
+  if t.used + n > t.capacity then false
+  else begin
+    t.used <- t.used + n;
+    true
+  end
+
+let release t n =
+  if n < 0 || n > t.used then invalid_arg "Tcam.release: bad count";
+  t.used <- t.used - n

@@ -1,0 +1,20 @@
+(** Hardware fast-path memory accounting.
+
+    The ToR can hold only a limited number of rules (§1: "Due to
+    hardware space limitations..."). The TOR decision engine consults
+    this budget and "offloads only as many flows as can be
+    accommodated" (§4.3.1). *)
+
+type t
+
+val create : capacity:int -> t
+val capacity : t -> int
+val used : t -> int
+val available : t -> int
+
+val reserve : t -> int -> bool
+(** Atomically take [n] entries; false (and no change) if they do not
+    fit. *)
+
+val release : t -> int -> unit
+(** @raise Invalid_argument when releasing more than is in use. *)

@@ -1,0 +1,199 @@
+module Simtime = Dcsim.Simtime
+module Engine = Dcsim.Engine
+module Packet = Netcore.Packet
+module Fkey = Netcore.Fkey
+module Cost = Compute.Cost_params
+
+type server_port = { vswitch_q : Qos_queue.t; sriov_q : Qos_queue.t }
+
+type t = {
+  engine : Engine.t;
+  tor_ip : Netcore.Ipv4.t;
+  tcam : Tcam.t;
+  mutable vrfs : (int * Vrf.t) list;  (* tenant id -> vrf *)
+  vlan_to_tenant : (int, Netcore.Tenant.id) Hashtbl.t;
+  servers : (int, server_port) Hashtbl.t;  (* server ip -> ports *)
+  vm_location : (int * int, int * [ `Vswitch | `Sriov ]) Hashtbl.t;
+      (* (tenant, vm ip) -> (server ip, delivery port) *)
+  peers : (int, Packet.t -> unit) Hashtbl.t;
+  offloaded_stats : Vswitch.Flow_stats.t;
+  mutable acl_drops : int;
+  mutable no_route_drops : int;
+  mutable forwarded : int;
+}
+
+let create ~engine ~ip ~tcam_capacity =
+  {
+    engine;
+    tor_ip = ip;
+    tcam = Tcam.create ~capacity:tcam_capacity;
+    vrfs = [];
+    vlan_to_tenant = Hashtbl.create 16;
+    servers = Hashtbl.create 16;
+    vm_location = Hashtbl.create 64;
+    peers = Hashtbl.create 4;
+    offloaded_stats = Vswitch.Flow_stats.create ();
+    acl_drops = 0;
+    no_route_drops = 0;
+    forwarded = 0;
+  }
+
+let ip t = t.tor_ip
+let tcam t = t.tcam
+
+let ip_key addr = Int32.to_int (Netcore.Ipv4.to_int32 addr)
+
+let vrf t tenant =
+  let tid = Netcore.Tenant.to_int tenant in
+  match List.assoc_opt tid t.vrfs with
+  | Some v -> v
+  | None ->
+      let v = Vrf.create ~tenant ~tcam:t.tcam in
+      t.vrfs <- (tid, v) :: t.vrfs;
+      Hashtbl.replace t.vlan_to_tenant (Netcore.Tenant.to_vlan tenant) tenant;
+      v
+
+let attach_server t ~server_ip ~to_vswitch ~to_sriov =
+  let mk_port deliver name =
+    let link =
+      Fabric.Link.create ~engine:t.engine ~name ~gbps:Cost.link_gbps
+        ~latency:Cost.tor_forward_latency ~deliver
+    in
+    Qos_queue.create ~engine:t.engine ~classes:8 ~link ~gbps:Cost.link_gbps
+  in
+  let key = ip_key server_ip in
+  let port_name kind =
+    Printf.sprintf "tor->%s.%s" (Netcore.Ipv4.to_string server_ip) kind
+  in
+  Hashtbl.replace t.servers key
+    {
+      vswitch_q = mk_port to_vswitch (port_name "vsw");
+      sriov_q = mk_port to_sriov (port_name "vf");
+    }
+
+let register_vm t ~tenant ~vm_ip ~server_ip ?(port = `Vswitch) () =
+  Hashtbl.replace t.vm_location
+    (Netcore.Tenant.to_int tenant, ip_key vm_ip)
+    (ip_key server_ip, port)
+
+let add_peer t peer_ip forward = Hashtbl.replace t.peers (ip_key peer_ip) forward
+
+let drop_no_route t = t.no_route_drops <- t.no_route_drops + 1
+
+let to_server_vswitch t ~server_key ~queue pkt =
+  match Hashtbl.find_opt t.servers server_key with
+  | Some port ->
+      t.forwarded <- t.forwarded + 1;
+      Qos_queue.enqueue port.vswitch_q ~queue pkt
+  | None -> drop_no_route t
+
+let to_server_sriov t ~server_key ~queue pkt =
+  match Hashtbl.find_opt t.servers server_key with
+  | Some port ->
+      t.forwarded <- t.forwarded + 1;
+      Qos_queue.enqueue port.sriov_q ~queue pkt
+  | None -> drop_no_route t
+
+let wire_frames payload =
+  Stdlib.max 1
+    ((payload + Netcore.Hdr.max_tcp_payload - 1) / Netcore.Hdr.max_tcp_payload)
+
+(* Hardware-path reception: GRE packet addressed to this ToR. *)
+let handle_gre_rx t pkt ~key:tenant =
+  let vrf_table = vrf t tenant in
+  let flow = pkt.Packet.flow in
+  if not (Vrf.permits vrf_table flow) then begin
+    t.acl_drops <- t.acl_drops + 1
+  end
+  else begin
+    let queue = Vrf.queue_for vrf_table flow in
+    match
+      Hashtbl.find_opt t.vm_location
+        (Netcore.Tenant.to_int tenant, ip_key flow.Fkey.dst_ip)
+    with
+    | None -> drop_no_route t
+    | Some (server_key, _) ->
+        Packet.push_encap pkt (Packet.Vlan (Netcore.Tenant.to_vlan tenant));
+        ignore
+          (Engine.after t.engine Cost.tor_vrf_latency (fun () ->
+               to_server_sriov t ~server_key ~queue pkt))
+  end
+
+(* Hardware-path transmission: VLAN-tagged packet from an SR-IOV VF. *)
+let handle_vlan_tx t pkt ~vlan =
+  match Hashtbl.find_opt t.vlan_to_tenant vlan with
+  | None -> drop_no_route t
+  | Some tenant ->
+      let vrf_table = vrf t tenant in
+      let flow = pkt.Packet.flow in
+      if not (Vrf.permits vrf_table flow) then begin
+        (* Default deny: disallowed traffic injected via SR-IOV dies
+           here (§4.1.3). *)
+        t.acl_drops <- t.acl_drops + 1
+      end
+      else begin
+        Vswitch.Flow_stats.record t.offloaded_stats flow
+          ~packets:(wire_frames pkt.Packet.payload)
+          ~bytes:pkt.Packet.payload;
+        match Vrf.tunnel_for vrf_table ~dst_ip:flow.Fkey.dst_ip with
+        | None -> drop_no_route t
+        | Some ep ->
+            Packet.push_encap pkt
+              (Packet.Gre { tunnel_dst = ep.Rules.Tunnel_rule.tor_ip; key = tenant });
+            ignore
+              (Engine.after t.engine Cost.tor_vrf_latency (fun () ->
+                   if Netcore.Ipv4.equal ep.tor_ip t.tor_ip then begin
+                     (* Intra-rack: we are also the destination ToR. *)
+                     ignore (Packet.pop_encap pkt);
+                     handle_gre_rx t pkt ~key:tenant
+                   end
+                   else begin
+                     match Hashtbl.find_opt t.peers (ip_key ep.tor_ip) with
+                     | Some forward ->
+                         t.forwarded <- t.forwarded + 1;
+                         forward pkt
+                     | None -> drop_no_route t
+                   end))
+      end
+
+let receive t pkt =
+  match Packet.outer_encap pkt with
+  | Some (Packet.Vlan vlan) ->
+      ignore (Packet.pop_encap pkt);
+      handle_vlan_tx t pkt ~vlan
+  | Some (Packet.Gre { tunnel_dst; key }) ->
+      if Netcore.Ipv4.equal tunnel_dst t.tor_ip then begin
+        ignore (Packet.pop_encap pkt);
+        handle_gre_rx t pkt ~key
+      end
+      else begin
+        match Hashtbl.find_opt t.peers (ip_key tunnel_dst) with
+        | Some forward ->
+            t.forwarded <- t.forwarded + 1;
+            forward pkt
+        | None -> drop_no_route t
+      end
+  | Some (Packet.Vxlan { tunnel_dst; _ }) ->
+      (* Software path: route by the outer (server) address. *)
+      to_server_vswitch t ~server_key:(ip_key tunnel_dst) ~queue:0 pkt
+  | None -> (
+      (* Plain packet (untunneled software path): route by VM location. *)
+      let flow = pkt.Packet.flow in
+      match
+        Hashtbl.find_opt t.vm_location
+          (Netcore.Tenant.to_int flow.Fkey.tenant, ip_key flow.Fkey.dst_ip)
+      with
+      | Some (server_key, `Vswitch) ->
+          to_server_vswitch t ~server_key ~queue:0 pkt
+      | Some (server_key, `Sriov) ->
+          (* Statically steered to the hardware path: tag with the
+             tenant VLAN so the NIC can pick the VF. *)
+          Packet.push_encap pkt
+            (Packet.Vlan (Netcore.Tenant.to_vlan flow.Fkey.tenant));
+          to_server_sriov t ~server_key ~queue:0 pkt
+      | None -> drop_no_route t)
+
+let offloaded_flows t = Vswitch.Flow_stats.to_list t.offloaded_stats
+let acl_drops t = t.acl_drops
+let no_route_drops t = t.no_route_drops
+let packets_forwarded t = t.forwarded

@@ -1,0 +1,66 @@
+(** The Top-of-Rack L3 switch (§4.1.3, §4.2).
+
+    Transmit path (packet from a VM's SR-IOV VF, VLAN-tagged): the VLAN
+    selects the tenant's VRF; the packet is checked against the
+    installed allow-ACLs (default deny), GRE-encapsulated with the
+    destination ToR and the tenant id in the GRE key, and routed.
+
+    Receive path (GRE packet addressed to this ToR): the GRE key
+    selects the VRF; after decap and ACL check the packet is tagged
+    with the tenant VLAN and sent to the destination server through the
+    port's QoS queues.
+
+    VXLAN-encapsulated and plain packets (the software path) are routed
+    unchanged — the vswitch did all rule processing. *)
+
+type t
+
+val create :
+  engine:Dcsim.Engine.t -> ip:Netcore.Ipv4.t -> tcam_capacity:int -> t
+
+val ip : t -> Netcore.Ipv4.t
+val tcam : t -> Tcam.t
+
+val vrf : t -> Netcore.Tenant.id -> Vrf.t
+(** The tenant's VRF, created on first use (allocates the tenant VLAN
+    binding). *)
+
+val attach_server :
+  t ->
+  server_ip:Netcore.Ipv4.t ->
+  to_vswitch:(Netcore.Packet.t -> unit) ->
+  to_sriov:(Netcore.Packet.t -> unit) ->
+  unit
+(** Create the two downlinks to a server: one to the NIC port owned by
+    the vswitch, one to the SR-IOV port. Both are QoS-queued 10 GbE
+    links. *)
+
+val register_vm :
+  t ->
+  tenant:Netcore.Tenant.id ->
+  vm_ip:Netcore.Ipv4.t ->
+  server_ip:Netcore.Ipv4.t ->
+  ?port:[ `Vswitch | `Sriov ] ->
+  unit ->
+  unit
+(** Record VM location for routing of plain (untunneled) packets and
+    of decapsulated hardware-path packets. Re-registering moves the VM
+    (migration). [port] (default [`Vswitch]) selects which NIC port of
+    the server plain packets for this VM are delivered to — the §6.1
+    experiments statically point a VM's address at the SR-IOV port
+    ("no tunneling or rate limiting on the hardware path"); packets
+    delivered to the SR-IOV port are VLAN-tagged so the NIC can steer
+    them to the right VF. *)
+
+val add_peer : t -> Netcore.Ipv4.t -> (Netcore.Packet.t -> unit) -> unit
+(** Uplink to a peer ToR, keyed by its loopback address. *)
+
+val receive : t -> Netcore.Packet.t -> unit
+
+val offloaded_flows : t -> (Netcore.Fkey.t * int * int) list
+(** Cumulative (packets, bytes) per flow on the hardware path — what
+    the TOR ME polls (§4.3.1). *)
+
+val acl_drops : t -> int
+val no_route_drops : t -> int
+val packets_forwarded : t -> int

@@ -1,0 +1,88 @@
+module Fkey = Netcore.Fkey
+
+type entry = {
+  id : int;
+  compiled : Rules.Rule_compiler.compiled;
+  mutable live : bool;
+}
+
+type t = {
+  tenant : Netcore.Tenant.id;
+  tcam : Tcam.t;
+  mutable entries : entry list;
+  tunnels : Rules.Tunnel_rule.Map.t;
+  mutable tunnel_refcounts : (int, int) Hashtbl.t;  (* vm_ip -> refs *)
+  mutable next_id : int;
+}
+
+type handle = int
+
+let create ~tenant ~tcam =
+  {
+    tenant;
+    tcam;
+    entries = [];
+    tunnels = Rules.Tunnel_rule.Map.create ();
+    tunnel_refcounts = Hashtbl.create 16;
+    next_id = 0;
+  }
+
+let tenant t = t.tenant
+
+let ip_key ip = Int32.to_int (Netcore.Ipv4.to_int32 ip)
+
+let install t compiled =
+  let entries_needed = compiled.Rules.Rule_compiler.tcam_entries in
+  if not (Tcam.reserve t.tcam entries_needed) then Error `Tcam_full
+  else begin
+    let id = t.next_id in
+    t.next_id <- id + 1;
+    t.entries <- { id; compiled; live = true } :: t.entries;
+    List.iter
+      (fun (tr : Rules.Tunnel_rule.t) ->
+        Rules.Tunnel_rule.Map.install t.tunnels tr;
+        let k = ip_key tr.vm_ip in
+        let refs = Option.value (Hashtbl.find_opt t.tunnel_refcounts k) ~default:0 in
+        Hashtbl.replace t.tunnel_refcounts k (refs + 1))
+      compiled.tunnels;
+    Ok id
+  end
+
+let remove t handle =
+  match List.find_opt (fun e -> e.id = handle && e.live) t.entries with
+  | None -> ()
+  | Some entry ->
+      entry.live <- false;
+      t.entries <- List.filter (fun e -> e.id <> handle) t.entries;
+      Tcam.release t.tcam entry.compiled.Rules.Rule_compiler.tcam_entries;
+      List.iter
+        (fun (tr : Rules.Tunnel_rule.t) ->
+          let k = ip_key tr.vm_ip in
+          let refs = Option.value (Hashtbl.find_opt t.tunnel_refcounts k) ~default:0 in
+          if refs <= 1 then begin
+            Hashtbl.remove t.tunnel_refcounts k;
+            Rules.Tunnel_rule.Map.remove t.tunnels ~tenant:t.tenant ~vm_ip:tr.vm_ip
+          end
+          else Hashtbl.replace t.tunnel_refcounts k (refs - 1))
+        entry.compiled.tunnels
+
+let installed_count t = List.length t.entries
+
+let permits t flow =
+  List.exists
+    (fun e ->
+      Fkey.Pattern.matches e.compiled.Rules.Rule_compiler.acl_pattern flow)
+    t.entries
+
+let queue_for t flow =
+  match
+    List.find_opt
+      (fun e ->
+        Fkey.Pattern.matches e.compiled.Rules.Rule_compiler.acl_pattern flow)
+      t.entries
+  with
+  | Some e -> e.compiled.Rules.Rule_compiler.queue
+  | None -> 0
+
+let tunnel_for t ~dst_ip =
+  Rules.Tunnel_rule.Map.lookup t.tunnels ~tenant:t.tenant ~vm_ip:dst_ip

@@ -1,0 +1,35 @@
+(** A per-tenant Virtual Routing and Forwarding table (§4.1.3).
+
+    Holds the rules FasTrak offloads for one tenant: explicit allow
+    ACLs (default deny), GRE tunnel mappings keyed by destination VM,
+    and QoS queue assignments. Rule installation draws entries from the
+    shared {!Tcam}; removal returns them. *)
+
+type t
+
+val create : tenant:Netcore.Tenant.id -> tcam:Tcam.t -> t
+val tenant : t -> Netcore.Tenant.id
+
+type handle
+
+val install :
+  t -> Rules.Rule_compiler.compiled -> (handle, [ `Tcam_full ]) result
+(** Install a compiled offload rule set. Fails atomically when the TCAM
+    cannot hold all its entries. *)
+
+val remove : t -> handle -> unit
+(** Idempotent. *)
+
+val installed_count : t -> int
+
+val permits : t -> Netcore.Fkey.t -> bool
+(** ACL check: true iff some installed allow-pattern covers the flow.
+    Everything else hits the default deny (§4.1.3: a malicious VM
+    pushing disallowed traffic through the SR-IOV path is dropped
+    here). *)
+
+val queue_for : t -> Netcore.Fkey.t -> int
+(** QoS queue for the flow (0 if no installed rule matches). *)
+
+val tunnel_for :
+  t -> dst_ip:Netcore.Ipv4.t -> Rules.Tunnel_rule.endpoint option

@@ -1,0 +1,1 @@
+lib/vswitch/flow_stats.ml: Netcore

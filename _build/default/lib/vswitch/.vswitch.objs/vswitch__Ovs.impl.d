@@ -1,0 +1,1 @@
+lib/vswitch/ovs.ml: Compute Dcsim Flow_stats Hashtbl Int32 List Netcore Printf Rules Shaping Stdlib

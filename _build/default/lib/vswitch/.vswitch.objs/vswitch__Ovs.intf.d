@@ -1,0 +1,1 @@
+lib/vswitch/ovs.mli: Compute Dcsim Netcore Rules

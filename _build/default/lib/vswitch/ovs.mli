@@ -1,0 +1,88 @@
+(** The hypervisor virtual switch (Open vSwitch model, §2.2).
+
+    Structure follows OVS 1.9: a kernel datapath with an O(1)
+    exact-match flow cache, a userspace slow path consulted on cache
+    misses (the "upcall"), per-VIF vhost service threads (the
+    serialized per-packet resource), shared softirq work on the host
+    kernel CPU pool, optional VXLAN tunneling and optional tc-htb rate
+    limiting per VIF.
+
+    The four microbenchmark configurations of §3 are expressed through
+    {!Compute.Cost_params.vswitch_config}: baseline, +security rules,
+    +tunneling, +rate limiting (and compositions). *)
+
+type t
+
+val create :
+  engine:Dcsim.Engine.t ->
+  config:Compute.Cost_params.vswitch_config ->
+  host_pool:Compute.Cpu_pool.t ->
+  server_ip:Netcore.Ipv4.t ->
+  transmit:(Netcore.Packet.t -> unit) ->
+  t
+(** [transmit] hands fully-processed packets to the physical NIC /
+    link. [host_pool] is the shared kernel CPU pool of the server. *)
+
+val config : t -> Compute.Cost_params.vswitch_config
+val server_ip : t -> Netcore.Ipv4.t
+
+(** {2 VIFs} *)
+
+type vif
+
+val add_vif :
+  t ->
+  policy:Rules.Policy.t ->
+  deliver:(Netcore.Packet.t -> unit) ->
+  vif
+(** [deliver] hands received packets up into the guest (the guest-side
+    receive cost is charged by the VM, not here). The VIF's tx/rx rate
+    limits are initialised from the policy and can be re-adjusted (FPS)
+    via {!set_vif_tx_limit}/{!set_vif_rx_limit}. *)
+
+val vif_policy : vif -> Rules.Policy.t
+val set_vif_tx_limit : vif -> Rules.Rate_limit_spec.t -> unit
+val set_vif_rx_limit : vif -> Rules.Rate_limit_spec.t -> unit
+val vif_tx_limit : vif -> Rules.Rate_limit_spec.t
+val vif_tx_backlogged_seconds : vif -> float
+(** Time the VIF's tx shaper was backlogged — FPS's "maxed out" signal. *)
+
+val vif_rx_backlogged_seconds : vif -> float
+val vif_tx_bytes : vif -> int
+(** Cumulative bytes forwarded by the tx shaper (software-path demand). *)
+
+val vif_rx_bytes : vif -> int
+
+val vif_vhost_pool : vif -> Compute.Cpu_pool.t
+(** The VIF's vhost service thread, for CPU accounting. *)
+
+(** {2 Datapath} *)
+
+val transmit_from_vif : t -> vif -> Netcore.Packet.t -> unit
+(** Entry point for guest transmissions arriving on the VIF. *)
+
+val receive_from_nic : t -> Netcore.Packet.t -> unit
+(** Entry point for packets arriving from the wire (VXLAN-encapsulated
+    when tunneling is configured, plain otherwise). Routed to the
+    destination VIF by the inner (tenant, dst ip). *)
+
+(** {2 Flow management (FasTrak hooks)} *)
+
+val active_flows : t -> (Netcore.Fkey.t * int * int) list
+(** Cumulative (packets, bytes) per exact flow observed by the
+    datapath, tx and rx merged — what the local ME polls. *)
+
+val set_flow_blocked : t -> Netcore.Fkey.t -> bool -> unit
+(** While blocked, packets of this flow surfacing anywhere in the
+    vswitch pipeline are dropped — models the transient loss of
+    in-flight packets when a flow's rules migrate to hardware
+    (§6.2.2). *)
+
+(** {2 Counters} *)
+
+val packets_sent : t -> int
+val packets_received : t -> int
+val packets_dropped : t -> int
+val security_drops : t -> int
+val upcalls : t -> int
+val kernel_hits : t -> int

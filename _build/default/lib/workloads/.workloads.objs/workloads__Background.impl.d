@@ -1,0 +1,1 @@
+lib/workloads/background.ml: Compute Dcsim Host List Stream

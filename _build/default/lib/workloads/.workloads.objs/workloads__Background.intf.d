@@ -1,0 +1,1 @@
+lib/workloads/background.mli: Compute Dcsim Host Netcore Stream

@@ -1,0 +1,1 @@
+lib/workloads/flowgen.ml: Dcsim Host Netcore Stdlib

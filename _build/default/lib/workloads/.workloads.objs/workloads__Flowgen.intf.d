@@ -1,0 +1,1 @@
+lib/workloads/flowgen.mli: Dcsim Host Netcore

@@ -1,0 +1,1 @@
+lib/workloads/netperf.ml: List Stream Transactions

@@ -1,0 +1,1 @@
+lib/workloads/netperf.mli: Dcsim Host Netcore Stream Transactions

@@ -1,0 +1,1 @@
+lib/workloads/stream.ml: Dcsim Host Netcore Option Stdlib

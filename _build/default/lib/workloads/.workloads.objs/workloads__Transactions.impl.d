@@ -1,0 +1,1 @@
+lib/workloads/transactions.ml: Array Compute Dcsim Host List Netcore Queue

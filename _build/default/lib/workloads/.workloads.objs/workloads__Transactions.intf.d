@@ -1,0 +1,1 @@
+lib/workloads/transactions.mli: Dcsim Host Netcore

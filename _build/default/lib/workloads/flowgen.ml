@@ -1,0 +1,117 @@
+module Simtime = Dcsim.Simtime
+module Engine = Dcsim.Engine
+module Packet = Netcore.Packet
+module Fkey = Netcore.Fkey
+
+type config = {
+  arrival_rate : float;
+  pareto_shape : float;
+  mean_flow_bytes : float;
+  hot_fraction : float;
+  hot_services : int;
+  cold_services : int;
+  message_size : int;
+}
+
+let default_config =
+  {
+    arrival_rate = 50.0;
+    pareto_shape = 1.2;
+    mean_flow_bytes = 50_000.0;
+    hot_fraction = 0.8;
+    hot_services = 4;
+    cold_services = 64;
+    message_size = 1448;
+  }
+
+type t = {
+  engine : Engine.t;
+  vm : Host.Vm.t;
+  dst_ip : Netcore.Ipv4.t;
+  dst_port_base : int;
+  config : config;
+  rng : Dcsim.Rng.t;
+  mutable flows_started : int;
+  mutable bytes_offered : int;
+  mutable next_src_port : int;
+  mutable running : bool;
+}
+
+let install_sinks ~vm ~dst_port_base config =
+  for i = 0 to config.hot_services + config.cold_services - 1 do
+    Host.Vm.register_listener vm ~port:(dst_port_base + i) (fun _ -> ())
+  done
+
+(* A flow is a paced sequence of messages; pacing keeps the generator
+   open-loop (no feedback), which is what an arrival-driven scale test
+   wants. *)
+let launch_flow t ~dst_port ~size_bytes =
+  let flow =
+    Fkey.make ~src_ip:(Host.Vm.ip t.vm) ~dst_ip:t.dst_ip
+      ~src_port:t.next_src_port ~dst_port ~proto:Fkey.Tcp
+      ~tenant:(Host.Vm.tenant t.vm)
+  in
+  t.next_src_port <- 47000 + ((t.next_src_port - 47000 + 1) mod 10_000);
+  let messages = Stdlib.max 1 (size_bytes / t.config.message_size) in
+  let gap = Simtime.span_us 100.0 in
+  let rec send_remaining remaining =
+    if remaining > 0 && t.running then begin
+      let pkt =
+        Packet.create ~now:(Engine.now t.engine) ~flow
+          ~payload:t.config.message_size ()
+      in
+      Host.Vm.send t.vm pkt;
+      ignore (Engine.after t.engine gap (fun () -> send_remaining (remaining - 1)))
+    end
+  in
+  send_remaining messages
+
+let start ~engine ~vm ~dst_ip ~dst_port_base config =
+  let t =
+    {
+      engine;
+      vm;
+      dst_ip;
+      dst_port_base;
+      config;
+      rng = Dcsim.Rng.split (Engine.rng engine) ("flowgen." ^ Host.Vm.name vm);
+      flows_started = 0;
+      bytes_offered = 0;
+      next_src_port = 47000;
+      running = true;
+    }
+  in
+  let rec arrival () =
+    if t.running then begin
+      let gap_sec = Dcsim.Rng.exponential t.rng ~mean:(1.0 /. config.arrival_rate) in
+      ignore
+        (Engine.after engine (Simtime.span_sec gap_sec) (fun () ->
+             if t.running then begin
+               let hot = Dcsim.Rng.float t.rng 1.0 < config.hot_fraction in
+               let dst_port =
+                 if hot then dst_port_base + Dcsim.Rng.int t.rng config.hot_services
+                 else
+                   dst_port_base + config.hot_services
+                   + Dcsim.Rng.int t.rng (Stdlib.max 1 config.cold_services)
+               in
+               let scale =
+                 config.mean_flow_bytes *. (config.pareto_shape -. 1.0)
+                 /. config.pareto_shape
+               in
+               let size =
+                 int_of_float
+                   (Dcsim.Rng.pareto t.rng ~shape:config.pareto_shape ~scale)
+               in
+               t.flows_started <- t.flows_started + 1;
+               t.bytes_offered <- t.bytes_offered + size;
+               launch_flow t ~dst_port ~size_bytes:size;
+               arrival ()
+             end))
+    end
+  in
+  arrival ();
+  t
+
+let flows_started t = t.flows_started
+let bytes_offered t = t.bytes_offered
+let stop t = t.running <- false

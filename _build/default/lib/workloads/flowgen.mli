@@ -1,0 +1,40 @@
+(** Synthetic many-flow traffic with temporal locality.
+
+    Open-loop generator used by scale tests and the ablation benches:
+    flows arrive as a Poisson process over a pool of (source VM,
+    destination) pairs; flow sizes are Pareto (heavy-tailed — most
+    flows small, a few elephants); a configurable fraction of arrivals
+    re-uses a "hot" working set of destination services, giving the
+    temporal locality FasTrak exploits. *)
+
+type config = {
+  arrival_rate : float;  (** Flows per second. *)
+  pareto_shape : float;  (** Size distribution tail index (e.g. 1.2). *)
+  mean_flow_bytes : float;
+  hot_fraction : float;  (** Probability an arrival hits the hot set. *)
+  hot_services : int;  (** Size of the hot destination set. *)
+  cold_services : int;
+  message_size : int;
+}
+
+val default_config : config
+
+type t
+
+val start :
+  engine:Dcsim.Engine.t ->
+  vm:Host.Vm.t ->
+  dst_ip:Netcore.Ipv4.t ->
+  dst_port_base:int ->
+  config ->
+  t
+(** Destination services are ports [dst_port_base ..
+    dst_port_base + hot + cold) on the destination VM; install
+    {!Stream.install_sink} on each, or a listener that discards. *)
+
+val install_sinks :
+  vm:Host.Vm.t -> dst_port_base:int -> config -> unit
+
+val flows_started : t -> int
+val bytes_offered : t -> int
+val stop : t -> unit

@@ -1,0 +1,136 @@
+module Simtime = Dcsim.Simtime
+module Engine = Dcsim.Engine
+module Packet = Netcore.Packet
+module Fkey = Netcore.Fkey
+
+type config = {
+  dst_ip : Netcore.Ipv4.t;
+  dst_port : int;
+  src_port : int;
+  message_size : int;
+  window : int;
+  ack_every : int;
+  total_bytes : int option;
+  paced_rate_bps : float option;
+}
+
+let default_config ~dst_ip =
+  {
+    dst_ip;
+    dst_port = 5001;
+    src_port = 40000;
+    message_size = 32000;
+    window = 16;
+    ack_every = 4;
+    total_bytes = None;
+    paced_rate_bps = None;
+  }
+
+let ack_payload = 64
+
+type t = {
+  engine : Engine.t;
+  vm : Host.Vm.t;
+  config : config;
+  flow : Fkey.t;
+  mutable in_flight : int;
+  mutable bytes_sent : int;
+  mutable bytes_acked : int;
+  mutable window_start : Simtime.t;
+  mutable window_acked : int;
+  mutable running : bool;
+}
+
+(* Sink bookkeeping is per (vm, port): a message counter per flow. *)
+let install_sink ?(ack_every = 4) ~vm ~port () =
+  let counters : int Fkey.Table.t = Fkey.Table.create 16 in
+  Host.Vm.register_listener vm ~port (fun pkt ->
+      let flow = pkt.Packet.flow in
+      let seen = Option.value (Fkey.Table.find_opt counters flow) ~default:0 in
+      let seen = seen + 1 in
+      Fkey.Table.replace counters flow seen;
+      (* Credit ack every few messages: delayed acks + GRO batching. *)
+      if seen mod ack_every = 0 then begin
+        let ack =
+          Packet.create ~now:Simtime.zero ~flow:(Fkey.reverse flow)
+            ~payload:ack_payload ~bulk:true ()
+        in
+        Host.Vm.send vm ack
+      end)
+
+let budget_left t =
+  match t.config.total_bytes with
+  | None -> true
+  | Some budget -> t.bytes_sent < budget
+
+let send_one t =
+  if t.running && budget_left t && t.in_flight < t.config.window then begin
+    t.in_flight <- t.in_flight + 1;
+    t.bytes_sent <- t.bytes_sent + t.config.message_size;
+    let pkt =
+      Packet.create ~now:(Engine.now t.engine) ~flow:t.flow
+        ~payload:t.config.message_size ~bulk:true ()
+    in
+    Host.Vm.send t.vm pkt;
+    true
+  end
+  else false
+
+let rec fill_window t = if send_one t then fill_window t
+
+let start ~engine ~vm config =
+  let flow =
+    Fkey.make ~src_ip:(Host.Vm.ip vm) ~dst_ip:config.dst_ip
+      ~src_port:config.src_port ~dst_port:config.dst_port ~proto:Fkey.Tcp
+      ~tenant:(Host.Vm.tenant vm)
+  in
+  let t =
+    {
+      engine;
+      vm;
+      config;
+      flow;
+      in_flight = 0;
+      bytes_sent = 0;
+      bytes_acked = 0;
+      window_start = Engine.now engine;
+      window_acked = 0;
+      running = true;
+    }
+  in
+  Host.Vm.register_flow_handler vm (Fkey.reverse flow) (fun _ack ->
+      let credited = t.config.ack_every * t.config.message_size in
+      t.bytes_acked <- t.bytes_acked + credited;
+      t.window_acked <- t.window_acked + credited;
+      t.in_flight <- Stdlib.max 0 (t.in_flight - t.config.ack_every);
+      match t.config.paced_rate_bps with
+      | None -> fill_window t
+      | Some _ -> () (* the pacing clock drives sends *));
+  (match config.paced_rate_bps with
+  | None -> fill_window t
+  | Some rate ->
+      let interval =
+        Simtime.span_sec (float_of_int config.message_size *. 8.0 /. rate)
+      in
+      Engine.every engine interval (fun () ->
+          if t.running && budget_left t then begin
+            ignore (send_one t);
+            `Continue
+          end
+          else `Stop));
+  t
+
+let bytes_sent t = t.bytes_sent
+let bytes_acked t = t.bytes_acked
+
+let goodput_gbps t ~now =
+  let elapsed = Simtime.span_to_sec (Simtime.diff now t.window_start) in
+  if elapsed <= 0.0 then 0.0
+  else float_of_int t.window_acked *. 8.0 /. elapsed /. 1e9
+
+let reset_measurement t ~now =
+  t.window_start <- now;
+  t.window_acked <- 0
+
+let finished t = not (budget_left t)
+let stop t = t.running <- false

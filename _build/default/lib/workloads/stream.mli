@@ -1,0 +1,44 @@
+(** Bulk-transfer (netperf TCP_STREAM-style) workload.
+
+    A windowed sender keeps [window] messages of [message_size] bytes
+    outstanding toward a sink; the sink acknowledges every
+    [ack_every]-th message with a small app-level ack that releases
+    window credit — the delayed-ack/GRO clocking of a real TCP bulk
+    flow without per-segment transport simulation. Throughput is
+    measured at the receiver. *)
+
+type t
+
+type config = {
+  dst_ip : Netcore.Ipv4.t;
+  dst_port : int;
+  src_port : int;
+  message_size : int;
+  window : int;  (** Outstanding unacked messages. *)
+  ack_every : int;
+  total_bytes : int option;  (** Stop after this much (None = endless). *)
+  paced_rate_bps : float option;
+      (** When set, the sender is open-loop at this application rate
+          (disk-bound transfers like scp); window still caps flight. *)
+}
+
+val default_config : dst_ip:Netcore.Ipv4.t -> config
+(** 32000-byte messages, window 16, ack every 4, unlimited, unpaced. *)
+
+val install_sink : ?ack_every:int -> vm:Host.Vm.t -> port:int -> unit -> unit
+(** Receives stream data on [port] and emits a credit ack every
+    [ack_every] messages (default 4; must match the senders'
+    [ack_every]). Call once per (vm, port); all senders to that port
+    share it. *)
+
+val start : engine:Dcsim.Engine.t -> vm:Host.Vm.t -> config -> t
+
+val bytes_sent : t -> int
+val bytes_acked : t -> int
+val goodput_gbps : t -> now:Dcsim.Simtime.t -> float
+(** Acked application bytes per second since the last
+    [reset_measurement]. *)
+
+val reset_measurement : t -> now:Dcsim.Simtime.t -> unit
+val finished : t -> bool
+val stop : t -> unit

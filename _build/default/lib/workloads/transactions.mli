@@ -1,0 +1,62 @@
+(** Generic request/response workload machinery.
+
+    Both netperf TCP_RR (closed-loop and burst) and memcached/memslap
+    are transaction workloads: a client keeps some number of requests
+    outstanding per connection; a server charges a per-request service
+    cost and replies. Acks piggyback on responses, as TCP does for
+    request/response traffic, so one transaction is one packet in each
+    direction. Per-flow packet order is preserved end-to-end by the
+    simulated fabric, letting send timestamps match responses FIFO. *)
+
+module Server : sig
+  val install :
+    vm:Host.Vm.t ->
+    port:int ->
+    ?service_cost:Dcsim.Simtime.span ->
+    response_size:int ->
+    unit ->
+    unit
+  (** Listen on [port]; each arriving request occupies the VM's app
+      pool for [service_cost] (default
+      {!Compute.Cost_params.server_app_default_cost}) and then sends a
+      [response_size]-byte reply back along the reversed flow. *)
+end
+
+module Client : sig
+  type t
+
+  type config = {
+    servers : (Netcore.Ipv4.t * int) list;  (** (address, port) targets. *)
+    connections : int;  (** Distinct flows per server ("threads"). *)
+    outstanding : int;  (** Pipelined requests per connection (burst). *)
+    request_size : int;
+    total_requests : int option;
+        (** Stop after this many transactions (None = run forever). *)
+    src_port_base : int;
+  }
+
+  val start : engine:Dcsim.Engine.t -> vm:Host.Vm.t -> config -> t
+  (** Opens [connections] flows to every server and starts issuing
+      requests round-robin immediately. *)
+
+  val completed : t -> int
+  val tps : t -> now:Dcsim.Simtime.t -> float
+  (** Completed transactions per second since [reset_measurement] (or
+      start). *)
+
+  val mean_latency_us : t -> float
+  val p99_latency_us : t -> float
+  val finish_time : t -> Dcsim.Simtime.t option
+  (** Instant the [total_requests]-th response arrived. *)
+
+  val on_finish : t -> (unit -> unit) -> unit
+  val reset_measurement : t -> now:Dcsim.Simtime.t -> unit
+  (** Drop warm-up samples: zero the latency histogram and TPS window. *)
+
+  val stop : t -> unit
+  (** Cease issuing new requests (outstanding ones complete silently). *)
+
+  val retries : t -> int
+  (** Requests re-issued after the 250 ms application timeout (requests
+      lost in flight, e.g. dropped during a rule migration). *)
+end

@@ -1,0 +1,1 @@
+test/test_compute.ml: Alcotest Compute Dcsim Float Format List

@@ -1,0 +1,1 @@
+test/test_dataplane.ml: Alcotest Array Compute Dcsim Experiments Fabric Format Host List Netcore Nic Option Printf Result Rules Tor Vswitch

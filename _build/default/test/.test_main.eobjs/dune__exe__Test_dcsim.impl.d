@@ -1,0 +1,1 @@
+test/test_dcsim.ml: Alcotest Dcsim Float List QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_fastrak.ml: Alcotest Array Dcsim Experiments Fastrak Float Host List Netcore Option Rules Workloads

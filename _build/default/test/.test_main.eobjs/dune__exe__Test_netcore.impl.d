@@ -1,0 +1,1 @@
+test/test_netcore.ml: Alcotest Dcsim Format List Netcore Option QCheck2 QCheck_alcotest

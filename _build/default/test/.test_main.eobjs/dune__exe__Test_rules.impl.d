@@ -1,0 +1,1 @@
+test/test_rules.ml: Alcotest Format List Netcore QCheck2 QCheck_alcotest Rules

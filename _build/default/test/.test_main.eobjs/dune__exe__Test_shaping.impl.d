@@ -1,0 +1,1 @@
+test/test_shaping.ml: Alcotest Dcsim List Netcore QCheck2 QCheck_alcotest Rules Shaping

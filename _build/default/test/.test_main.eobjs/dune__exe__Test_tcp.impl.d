@@ -1,0 +1,1 @@
+test/test_tcp.ml: Alcotest Dcsim List Netcore Option QCheck2 QCheck_alcotest Tcpmodel

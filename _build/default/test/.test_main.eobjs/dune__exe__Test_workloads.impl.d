@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Compute Dcsim Experiments Float Host List Netcore Vswitch Workloads

@@ -1,0 +1,354 @@
+(* Unit and property tests for the discrete-event simulation core. *)
+
+module Simtime = Dcsim.Simtime
+module Engine = Dcsim.Engine
+
+let check = Alcotest.check
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+(* --- Simtime --- *)
+
+let test_time_conversions () =
+  checki "us" 1_500 (Simtime.to_ns (Simtime.of_us 1.5));
+  checki "ms" 2_000_000 (Simtime.to_ns (Simtime.of_ms 2.0));
+  checki "sec" 3_000_000_000 (Simtime.to_ns (Simtime.of_sec 3.0));
+  check (Alcotest.float 1e-9) "roundtrip sec" 1.25
+    (Simtime.to_sec (Simtime.of_sec 1.25))
+
+let test_time_arithmetic () =
+  let t = Simtime.of_us 10.0 in
+  let t2 = Simtime.add t (Simtime.span_us 5.0) in
+  checki "add" 15_000 (Simtime.to_ns t2);
+  checki "diff" 5_000 (Simtime.span_to_ns (Simtime.diff t2 t));
+  checkb "lt" true Simtime.(t < t2);
+  checkb "ge" true Simtime.(t2 >= t)
+
+let test_span_ops () =
+  let a = Simtime.span_us 2.0 and b = Simtime.span_us 3.0 in
+  checki "add" 5_000 (Simtime.span_to_ns (Simtime.span_add a b));
+  checki "sub" 1_000 (Simtime.span_to_ns (Simtime.span_sub b a));
+  checki "scale" 4_000 (Simtime.span_to_ns (Simtime.span_scale 2.0 a));
+  checki "max" 3_000 (Simtime.span_to_ns (Simtime.span_max a b))
+
+let test_serialization_delay () =
+  (* 1500 bytes at 10 Gb/s = 1.2 us. *)
+  checki "1500B@10G" 1_200
+    (Simtime.span_to_ns (Simtime.span_of_bytes_at_rate ~bytes_len:1500 ~gbps:10.0));
+  checki "64B@1G" 512
+    (Simtime.span_to_ns (Simtime.span_of_bytes_at_rate ~bytes_len:64 ~gbps:1.0))
+
+(* --- Event queue --- *)
+
+let test_queue_ordering () =
+  let q = Dcsim.Event_queue.create () in
+  ignore (Dcsim.Event_queue.push q (Simtime.of_ns 30) "c");
+  ignore (Dcsim.Event_queue.push q (Simtime.of_ns 10) "a");
+  ignore (Dcsim.Event_queue.push q (Simtime.of_ns 20) "b");
+  let pop () =
+    match Dcsim.Event_queue.pop q with Some (_, v) -> v | None -> "-"
+  in
+  check Alcotest.string "first" "a" (pop ());
+  check Alcotest.string "second" "b" (pop ());
+  check Alcotest.string "third" "c" (pop ());
+  checkb "empty" true (Dcsim.Event_queue.is_empty q)
+
+let test_queue_fifo_ties () =
+  let q = Dcsim.Event_queue.create () in
+  let t = Simtime.of_ns 5 in
+  ignore (Dcsim.Event_queue.push q t 1);
+  ignore (Dcsim.Event_queue.push q t 2);
+  ignore (Dcsim.Event_queue.push q t 3);
+  let order =
+    List.init 3 (fun _ ->
+        match Dcsim.Event_queue.pop q with Some (_, v) -> v | None -> -1)
+  in
+  check (Alcotest.list Alcotest.int) "scheduling order" [ 1; 2; 3 ] order
+
+let test_queue_cancel () =
+  let q = Dcsim.Event_queue.create () in
+  let h1 = Dcsim.Event_queue.push q (Simtime.of_ns 1) 1 in
+  ignore (Dcsim.Event_queue.push q (Simtime.of_ns 2) 2);
+  checkb "cancel ok" true (Dcsim.Event_queue.cancel q h1);
+  checkb "double cancel" false (Dcsim.Event_queue.cancel q h1);
+  checki "length" 1 (Dcsim.Event_queue.length q);
+  (match Dcsim.Event_queue.pop q with
+  | Some (_, v) -> checki "survivor" 2 v
+  | None -> Alcotest.fail "expected one event");
+  checkb "drained" true (Dcsim.Event_queue.pop q = None)
+
+let test_queue_peek_skips_cancelled () =
+  let q = Dcsim.Event_queue.create () in
+  let h = Dcsim.Event_queue.push q (Simtime.of_ns 1) 1 in
+  ignore (Dcsim.Event_queue.push q (Simtime.of_ns 7) 2);
+  ignore (Dcsim.Event_queue.cancel q h);
+  (match Dcsim.Event_queue.peek_time q with
+  | Some t -> checki "peek" 7 (Simtime.to_ns t)
+  | None -> Alcotest.fail "expected peek");
+  ()
+
+(* --- Engine --- *)
+
+let test_engine_runs_in_order () =
+  let e = Engine.create () in
+  let log = ref [] in
+  ignore (Engine.at e (Simtime.of_us 3.0) (fun () -> log := 3 :: !log));
+  ignore (Engine.at e (Simtime.of_us 1.0) (fun () -> log := 1 :: !log));
+  ignore (Engine.at e (Simtime.of_us 2.0) (fun () -> log := 2 :: !log));
+  Engine.run e;
+  check (Alcotest.list Alcotest.int) "order" [ 1; 2; 3 ] (List.rev !log);
+  checki "clock" 3_000 (Simtime.to_ns (Engine.now e));
+  checki "processed" 3 (Engine.events_processed e)
+
+let test_engine_until () =
+  let e = Engine.create () in
+  let fired = ref 0 in
+  ignore (Engine.at e (Simtime.of_us 1.0) (fun () -> incr fired));
+  ignore (Engine.at e (Simtime.of_us 10.0) (fun () -> incr fired));
+  Engine.run ~until:(Simtime.of_us 5.0) e;
+  checki "only first" 1 !fired;
+  checki "clock at limit" 5_000 (Simtime.to_ns (Engine.now e));
+  Engine.run e;
+  checki "rest" 2 !fired
+
+let test_engine_after_and_cancel () =
+  let e = Engine.create () in
+  let fired = ref false in
+  let h = Engine.after e (Simtime.span_us 2.0) (fun () -> fired := true) in
+  checkb "cancel" true (Engine.cancel e h);
+  Engine.run e;
+  checkb "not fired" false !fired
+
+let test_engine_rejects_past () =
+  let e = Engine.create () in
+  ignore (Engine.at e (Simtime.of_us 5.0) (fun () -> ()));
+  Engine.run e;
+  Alcotest.check_raises "past schedule"
+    (Invalid_argument "Engine.at: 1.0us is before current time 5.0us")
+    (fun () -> ignore (Engine.at e (Simtime.of_us 1.0) (fun () -> ())))
+
+let test_engine_every () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  Engine.every e (Simtime.span_us 10.0) (fun () ->
+      incr count;
+      if !count >= 4 then `Stop else `Continue);
+  Engine.run e;
+  checki "four ticks" 4 !count;
+  checki "stopped at" 40_000 (Simtime.to_ns (Engine.now e))
+
+let test_engine_stop () =
+  let e = Engine.create () in
+  let fired = ref 0 in
+  ignore
+    (Engine.at e (Simtime.of_us 1.0) (fun () ->
+         incr fired;
+         Engine.stop e));
+  ignore (Engine.at e (Simtime.of_us 2.0) (fun () -> incr fired));
+  Engine.run e;
+  checki "stopped early" 1 !fired
+
+(* --- Rng --- *)
+
+let test_rng_determinism () =
+  let draw seed =
+    let r = Dcsim.Rng.create ~seed in
+    List.init 10 (fun _ -> Dcsim.Rng.int r 1000)
+  in
+  check (Alcotest.list Alcotest.int) "same seed same stream" (draw 7) (draw 7);
+  checkb "different seeds differ" true (draw 7 <> draw 8)
+
+let test_rng_split_stable () =
+  let r1 = Dcsim.Rng.create ~seed:1 in
+  let r2 = Dcsim.Rng.create ~seed:1 in
+  let a = Dcsim.Rng.split r1 "x" and b = Dcsim.Rng.split r2 "x" in
+  checki "split streams agree" (Dcsim.Rng.int a 1_000_000) (Dcsim.Rng.int b 1_000_000)
+
+let test_rng_distributions () =
+  let r = Dcsim.Rng.create ~seed:3 in
+  let n = 20_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Dcsim.Rng.exponential r ~mean:5.0
+  done;
+  let mean = !sum /. float_of_int n in
+  checkb "exponential mean ~5" true (Float.abs (mean -. 5.0) < 0.3);
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Dcsim.Rng.gaussian r ~mu:2.0 ~sigma:1.0
+  done;
+  checkb "gaussian mean ~2" true (Float.abs ((!sum /. float_of_int n) -. 2.0) < 0.1)
+
+(* --- Stats --- *)
+
+let test_summary () =
+  let s = Dcsim.Stats.Summary.create () in
+  List.iter (Dcsim.Stats.Summary.add s) [ 1.0; 2.0; 3.0; 4.0 ];
+  checki "count" 4 (Dcsim.Stats.Summary.count s);
+  check (Alcotest.float 1e-9) "mean" 2.5 (Dcsim.Stats.Summary.mean s);
+  check (Alcotest.float 1e-9) "min" 1.0 (Dcsim.Stats.Summary.min s);
+  check (Alcotest.float 1e-9) "max" 4.0 (Dcsim.Stats.Summary.max s);
+  check (Alcotest.float 1e-6) "variance" (5.0 /. 3.0)
+    (Dcsim.Stats.Summary.variance s)
+
+let test_summary_empty () =
+  let s = Dcsim.Stats.Summary.create () in
+  check (Alcotest.float 0.0) "mean empty" 0.0 (Dcsim.Stats.Summary.mean s);
+  check (Alcotest.float 0.0) "stddev empty" 0.0 (Dcsim.Stats.Summary.stddev s)
+
+let test_histogram_percentiles () =
+  let h = Dcsim.Stats.Histogram.create () in
+  for i = 1 to 1000 do
+    Dcsim.Stats.Histogram.add h (float_of_int i)
+  done;
+  let p50 = Dcsim.Stats.Histogram.percentile h 50.0 in
+  let p99 = Dcsim.Stats.Histogram.percentile h 99.0 in
+  checkb "p50 near 500" true (Float.abs (p50 -. 500.0) < 15.0);
+  checkb "p99 near 990" true (Float.abs (p99 -. 990.0) < 25.0);
+  checkb "p99 >= p50" true (p99 >= p50);
+  check (Alcotest.float 2.0) "mean" 500.5 (Dcsim.Stats.Histogram.mean h)
+
+let test_histogram_large_values () =
+  let h = Dcsim.Stats.Histogram.create () in
+  Dcsim.Stats.Histogram.add h 1.0e6;
+  Dcsim.Stats.Histogram.add h 2.0e6;
+  let p99 = Dcsim.Stats.Histogram.percentile h 99.0 in
+  (* Geometric buckets: bounded relative error. *)
+  checkb "tail relative error" true (Float.abs (p99 -. 2.0e6) /. 2.0e6 < 0.05)
+
+let test_median () =
+  check (Alcotest.float 0.0) "odd" 3.0 (Dcsim.Stats.median [ 5.0; 1.0; 3.0 ]);
+  check (Alcotest.float 0.0) "even" 2.5 (Dcsim.Stats.median [ 4.0; 1.0; 2.0; 3.0 ]);
+  check (Alcotest.float 0.0) "empty" 0.0 (Dcsim.Stats.median [])
+
+let test_rate () =
+  let r = Dcsim.Stats.Rate.create () in
+  Dcsim.Stats.Rate.observe r ~now:Simtime.zero ~count:10 ~bytes_len:1000;
+  let pps, bps = Dcsim.Stats.Rate.sample r ~now:(Simtime.of_sec 2.0) in
+  check (Alcotest.float 1e-6) "pps" 5.0 pps;
+  check (Alcotest.float 1e-6) "Bps" 500.0 bps;
+  (* Window resets. *)
+  let pps, _ = Dcsim.Stats.Rate.sample r ~now:(Simtime.of_sec 3.0) in
+  check (Alcotest.float 1e-6) "reset" 0.0 pps
+
+let test_timeseries () =
+  let ts = Dcsim.Stats.Timeseries.create "x" in
+  Dcsim.Stats.Timeseries.add ts Simtime.zero 1.0;
+  Dcsim.Stats.Timeseries.add ts (Simtime.of_us 1.0) 2.0;
+  checki "len" 2 (Dcsim.Stats.Timeseries.length ts);
+  check Alcotest.string "name" "x" (Dcsim.Stats.Timeseries.name ts);
+  (match Dcsim.Stats.Timeseries.points ts with
+  | [ (_, a); (_, b) ] ->
+      check (Alcotest.float 0.0) "first" 1.0 a;
+      check (Alcotest.float 0.0) "second" 2.0 b
+  | _ -> Alcotest.fail "expected two points")
+
+(* --- Queueing formulas --- *)
+
+let test_mm1 () =
+  (* rho = 0.5: W = 1/(mu - lambda) = 1/50 = 0.02 s. *)
+  check (Alcotest.float 1e-9) "mm1" 0.02
+    (Dcsim.Queueing.mm1_wait ~arrival_rate:50.0 ~service_rate:100.0);
+  checkb "unstable" true
+    (Dcsim.Queueing.mm1_wait ~arrival_rate:100.0 ~service_rate:100.0 = infinity)
+
+let test_md1_below_mm1 () =
+  let md1 = Dcsim.Queueing.md1_wait ~arrival_rate:80.0 ~service_rate:100.0 in
+  let mm1 = Dcsim.Queueing.mm1_wait ~arrival_rate:80.0 ~service_rate:100.0 in
+  checkb "deterministic service waits less" true (md1 < mm1);
+  checkb "md1 above service time" true (md1 > 0.01)
+
+let test_mmc () =
+  (* M/M/1 equals M/M/c with c=1. *)
+  let a = Dcsim.Queueing.mm1_wait ~arrival_rate:30.0 ~service_rate:100.0 in
+  let b = Dcsim.Queueing.mmc_wait ~arrival_rate:30.0 ~service_rate:100.0 ~servers:1 in
+  check (Alcotest.float 1e-9) "c=1 match" a b;
+  (* More servers, less waiting. *)
+  let c2 = Dcsim.Queueing.mmc_wait ~arrival_rate:150.0 ~service_rate:100.0 ~servers:2 in
+  let c4 = Dcsim.Queueing.mmc_wait ~arrival_rate:150.0 ~service_rate:100.0 ~servers:4 in
+  checkb "more servers faster" true (c4 < c2)
+
+let test_littles_law () =
+  check (Alcotest.float 1e-9) "L = lambda W" 6.0
+    (Dcsim.Queueing.littles_law_occupancy ~arrival_rate:30.0 ~time_in_system:0.2)
+
+(* --- Property tests --- *)
+
+let prop_event_queue_sorted =
+  QCheck2.Test.make ~name:"event queue pops in time order" ~count:200
+    QCheck2.Gen.(list_size (int_range 1 50) (int_range 0 1_000_000))
+    (fun times ->
+      let q = Dcsim.Event_queue.create () in
+      List.iter (fun t -> ignore (Dcsim.Event_queue.push q (Simtime.of_ns t) t)) times;
+      let rec drain acc =
+        match Dcsim.Event_queue.pop q with
+        | None -> List.rev acc
+        | Some (_, v) -> drain (v :: acc)
+      in
+      let popped = drain [] in
+      popped = List.sort compare times
+      || (* stable for duplicates in push order: compare as multiset+sorted *)
+      List.sort compare popped = List.sort compare times
+      && List.for_all2 ( <= )
+           (List.filteri (fun i _ -> i < List.length popped - 1) popped)
+           (List.tl popped))
+
+let prop_histogram_percentile_monotone =
+  QCheck2.Test.make ~name:"histogram percentiles are monotone" ~count:100
+    QCheck2.Gen.(list_size (int_range 1 200) (float_bound_exclusive 100000.0))
+    (fun values ->
+      let h = Dcsim.Stats.Histogram.create () in
+      List.iter (Dcsim.Stats.Histogram.add h) values;
+      let ps = [ 10.0; 25.0; 50.0; 75.0; 90.0; 99.0; 100.0 ] in
+      let vs = List.map (Dcsim.Stats.Histogram.percentile h) ps in
+      let rec monotone = function
+        | a :: (b :: _ as rest) -> a <= b && monotone rest
+        | _ -> true
+      in
+      monotone vs)
+
+let prop_summary_mean_bounds =
+  QCheck2.Test.make ~name:"summary mean within min/max" ~count:200
+    QCheck2.Gen.(list_size (int_range 1 100) (float_bound_exclusive 1000.0))
+    (fun values ->
+      let s = Dcsim.Stats.Summary.create () in
+      List.iter (Dcsim.Stats.Summary.add s) values;
+      let m = Dcsim.Stats.Summary.mean s in
+      m >= Dcsim.Stats.Summary.min s -. 1e-9
+      && m <= Dcsim.Stats.Summary.max s +. 1e-9)
+
+let suite =
+  let t name f = Alcotest.test_case name `Quick f in
+  [
+    t "simtime conversions" test_time_conversions;
+    t "simtime arithmetic" test_time_arithmetic;
+    t "span operations" test_span_ops;
+    t "serialization delay" test_serialization_delay;
+    t "event queue ordering" test_queue_ordering;
+    t "event queue fifo ties" test_queue_fifo_ties;
+    t "event queue cancel" test_queue_cancel;
+    t "event queue peek skips cancelled" test_queue_peek_skips_cancelled;
+    t "engine runs in order" test_engine_runs_in_order;
+    t "engine until" test_engine_until;
+    t "engine after/cancel" test_engine_after_and_cancel;
+    t "engine rejects past" test_engine_rejects_past;
+    t "engine every" test_engine_every;
+    t "engine stop" test_engine_stop;
+    t "rng determinism" test_rng_determinism;
+    t "rng split stable" test_rng_split_stable;
+    t "rng distribution means" test_rng_distributions;
+    t "summary statistics" test_summary;
+    t "summary empty" test_summary_empty;
+    t "histogram percentiles" test_histogram_percentiles;
+    t "histogram tail error" test_histogram_large_values;
+    t "median" test_median;
+    t "rate estimator" test_rate;
+    t "timeseries" test_timeseries;
+    t "mm1 wait" test_mm1;
+    t "md1 below mm1" test_md1_below_mm1;
+    t "mmc wait" test_mmc;
+    t "littles law" test_littles_law;
+    QCheck_alcotest.to_alcotest prop_event_queue_sorted;
+    QCheck_alcotest.to_alcotest prop_histogram_percentile_monotone;
+    QCheck_alcotest.to_alcotest prop_summary_mean_bounds;
+  ]

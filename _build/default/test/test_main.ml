@@ -1,0 +1,14 @@
+(* Aggregated test runner: one Alcotest section per library. *)
+let () =
+  Alcotest.run "fastrak"
+    [
+      ("dcsim", Test_dcsim.suite);
+      ("netcore", Test_netcore.suite);
+      ("rules", Test_rules.suite);
+      ("shaping", Test_shaping.suite);
+      ("compute", Test_compute.suite);
+      ("tcp", Test_tcp.suite);
+      ("dataplane", Test_dataplane.suite);
+      ("fastrak", Test_fastrak.suite);
+      ("workloads", Test_workloads.suite);
+    ]

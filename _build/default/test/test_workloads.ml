@@ -1,0 +1,270 @@
+(* Tests for the workload generators and a few end-to-end shape
+   invariants from the paper's evaluation. *)
+
+module Simtime = Dcsim.Simtime
+module Engine = Dcsim.Engine
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let pair_testbed ?(config = Compute.Cost_params.baseline) () =
+  let tb = Experiments.Testbed.create ~server_count:2 ~config () in
+  let a =
+    Experiments.Testbed.add_vm tb
+      (Experiments.Testbed.vm_spec ~server:0 ~name:"a" ~ip_last_octet:1 ())
+  in
+  let b =
+    Experiments.Testbed.add_vm tb
+      (Experiments.Testbed.vm_spec ~server:1 ~name:"b" ~ip_last_octet:2 ())
+  in
+  (tb, a, b)
+
+let test_transactions_complete () =
+  let tb, a, b = pair_testbed () in
+  Workloads.Transactions.Server.install ~vm:b.Host.Server.vm ~port:9000
+    ~response_size:256 ();
+  let c =
+    Workloads.Transactions.Client.start ~engine:tb.Experiments.Testbed.engine
+      ~vm:a.Host.Server.vm
+      {
+        Workloads.Transactions.Client.servers = [ (Host.Vm.ip b.Host.Server.vm, 9000) ];
+        connections = 2;
+        outstanding = 4;
+        request_size = 64;
+        total_requests = Some 500;
+        src_port_base = 40000;
+      }
+  in
+  let finished = ref false in
+  Workloads.Transactions.Client.on_finish c (fun () -> finished := true);
+  Experiments.Testbed.run_for tb ~seconds:2.0;
+  checki "completed all" 500 (Workloads.Transactions.Client.completed c);
+  checkb "finish callback" true !finished;
+  checkb "finish time set" true (Workloads.Transactions.Client.finish_time c <> None);
+  checkb "latency measured" true (Workloads.Transactions.Client.mean_latency_us c > 10.0);
+  checkb "p99 >= mean" true
+    (Workloads.Transactions.Client.p99_latency_us c
+    >= Workloads.Transactions.Client.mean_latency_us c)
+
+let test_transactions_retry_lost_requests () =
+  let tb, a, b = pair_testbed () in
+  Workloads.Transactions.Server.install ~vm:b.Host.Server.vm ~port:9000
+    ~response_size:64 ();
+  let f_block = ref None in
+  let c =
+    Workloads.Transactions.Client.start ~engine:tb.Experiments.Testbed.engine
+      ~vm:a.Host.Server.vm
+      {
+        Workloads.Transactions.Client.servers = [ (Host.Vm.ip b.Host.Server.vm, 9000) ];
+        connections = 1;
+        outstanding = 2;
+        request_size = 64;
+        total_requests = Some 5000;
+        src_port_base = 41000;
+      }
+  in
+  ignore f_block;
+  (* Briefly blackhole the flow mid-run: some requests are lost, the
+     watchdog re-issues them, and the run still completes. *)
+  let ovs = Host.Server.ovs tb.Experiments.Testbed.servers.(0) in
+  ignore
+    (Engine.after tb.Experiments.Testbed.engine (Simtime.span_ms 50.0) (fun () ->
+         List.iter
+           (fun (flow, _, _) -> Vswitch.Ovs.set_flow_blocked ovs flow true)
+           (Vswitch.Ovs.active_flows ovs)));
+  ignore
+    (Engine.after tb.Experiments.Testbed.engine (Simtime.span_ms 150.0) (fun () ->
+         List.iter
+           (fun (flow, _, _) -> Vswitch.Ovs.set_flow_blocked ovs flow false)
+           (Vswitch.Ovs.active_flows ovs)));
+  Experiments.Testbed.run_for tb ~seconds:5.0;
+  checki "completed despite loss" 5000 (Workloads.Transactions.Client.completed c);
+  checkb "retries recorded" true (Workloads.Transactions.Client.retries c > 0)
+
+let test_stream_goodput_measured () =
+  let tb, a, b = pair_testbed () in
+  Workloads.Stream.install_sink ~vm:b.Host.Server.vm ~port:5001 ();
+  let s =
+    Workloads.Stream.start ~engine:tb.Experiments.Testbed.engine
+      ~vm:a.Host.Server.vm
+      {
+        (Workloads.Stream.default_config ~dst_ip:(Host.Vm.ip b.Host.Server.vm)) with
+        Workloads.Stream.dst_port = 5001;
+      }
+  in
+  Experiments.Testbed.run_for tb ~seconds:0.5;
+  let g =
+    Workloads.Stream.goodput_gbps s ~now:(Engine.now tb.Experiments.Testbed.engine)
+  in
+  checkb "several Gb/s" true (g > 1.0);
+  checkb "bytes acked grow" true (Workloads.Stream.bytes_acked s > 1_000_000)
+
+let test_stream_total_bytes_stops () =
+  let tb, a, b = pair_testbed () in
+  Workloads.Stream.install_sink ~vm:b.Host.Server.vm ~port:5001 ();
+  let s =
+    Workloads.Stream.start ~engine:tb.Experiments.Testbed.engine
+      ~vm:a.Host.Server.vm
+      {
+        (Workloads.Stream.default_config ~dst_ip:(Host.Vm.ip b.Host.Server.vm)) with
+        Workloads.Stream.dst_port = 5001;
+        total_bytes = Some 320_000;
+      }
+  in
+  Experiments.Testbed.run_for tb ~seconds:1.0;
+  checkb "finished" true (Workloads.Stream.finished s);
+  checki "sent exactly the budget" 320_000 (Workloads.Stream.bytes_sent s)
+
+let test_scp_paced_low_pps () =
+  let tb, a, b = pair_testbed () in
+  Workloads.Background.install_scp_sink ~vm:b.Host.Server.vm;
+  let scp =
+    Workloads.Background.scp ~engine:tb.Experiments.Testbed.engine
+      ~vm:a.Host.Server.vm
+      ~dst_ip:(Host.Vm.ip b.Host.Server.vm)
+      ()
+  in
+  Experiments.Testbed.run_for tb ~seconds:2.0;
+  let stream = Workloads.Background.scp_stream scp in
+  let msgs = Workloads.Stream.bytes_sent stream / 1448 in
+  let pps = float_of_int msgs /. 2.0 in
+  (* §6.2.1: ~135 pps outgoing. *)
+  checkb "~135 pps" true (Float.abs (pps -. 135.0) < 15.0)
+
+let test_flowgen_generates () =
+  let tb, a, b = pair_testbed () in
+  let config =
+    { Workloads.Flowgen.default_config with Workloads.Flowgen.arrival_rate = 200.0 }
+  in
+  Workloads.Flowgen.install_sinks ~vm:b.Host.Server.vm ~dst_port_base:30000 config;
+  let g =
+    Workloads.Flowgen.start ~engine:tb.Experiments.Testbed.engine
+      ~vm:a.Host.Server.vm
+      ~dst_ip:(Host.Vm.ip b.Host.Server.vm)
+      ~dst_port_base:30000 config
+  in
+  Experiments.Testbed.run_for tb ~seconds:1.0;
+  let started = Workloads.Flowgen.flows_started g in
+  checkb "poisson arrivals ~200" true (started > 120 && started < 300);
+  checkb "bytes offered" true (Workloads.Flowgen.bytes_offered g > 0);
+  Workloads.Flowgen.stop g;
+  let frozen = Workloads.Flowgen.flows_started g in
+  Experiments.Testbed.run_for tb ~seconds:0.5;
+  checki "stop stops arrivals" frozen (Workloads.Flowgen.flows_started g)
+
+let test_flowgen_locality () =
+  let tb, a, b = pair_testbed () in
+  let config =
+    {
+      Workloads.Flowgen.default_config with
+      Workloads.Flowgen.arrival_rate = 500.0;
+      hot_fraction = 0.9;
+      hot_services = 2;
+      cold_services = 50;
+    }
+  in
+  Workloads.Flowgen.install_sinks ~vm:b.Host.Server.vm ~dst_port_base:30000 config;
+  ignore
+    (Workloads.Flowgen.start ~engine:tb.Experiments.Testbed.engine
+       ~vm:a.Host.Server.vm
+       ~dst_ip:(Host.Vm.ip b.Host.Server.vm)
+       ~dst_port_base:30000 config);
+  Experiments.Testbed.run_for tb ~seconds:1.0;
+  (* The hot destination ports must dominate the OVS flow table. *)
+  let ovs = Host.Server.ovs tb.Experiments.Testbed.servers.(0) in
+  let hot, cold =
+    List.fold_left
+      (fun (h, c) (flow, pkts, _) ->
+        if flow.Netcore.Fkey.dst_port < 30002 then (h + pkts, c) else (h, c + pkts))
+      (0, 0) (Vswitch.Ovs.active_flows ovs)
+  in
+  checkb "hot set dominates" true (hot > 3 * cold)
+
+(* --- Paper-shape invariants (fast versions of the benches) --- *)
+
+let burst_tps path =
+  let tb, a, b = pair_testbed () in
+  if path = `Vf then begin
+    Experiments.Testbed.force_path_vf tb a;
+    Experiments.Testbed.force_path_vf tb b
+  end;
+  Workloads.Netperf.install_rr_server ~vm:b.Host.Server.vm ~response_size:64;
+  let c =
+    Workloads.Netperf.burst_rr ~engine:tb.Experiments.Testbed.engine
+      ~vm:a.Host.Server.vm
+      ~dst_ip:(Host.Vm.ip b.Host.Server.vm)
+      ~size:64 ()
+  in
+  Experiments.Testbed.run_for tb ~seconds:0.4;
+  Workloads.Transactions.Client.reset_measurement c
+    ~now:(Engine.now tb.Experiments.Testbed.engine);
+  Experiments.Testbed.run_for tb ~seconds:0.6;
+  Workloads.Transactions.Client.tps c ~now:(Engine.now tb.Experiments.Testbed.engine)
+
+let test_shape_burst_tps_ratio () =
+  let vif = burst_tps `Vif and vf = burst_tps `Vf in
+  let ratio = vf /. vif in
+  (* Paper: ~60K vs ~34K, i.e. ~1.76x. *)
+  checkb "sr-iov roughly doubles burst TPS" true (ratio > 1.4 && ratio < 2.3);
+  checkb "vif in the 30-40K band" true (vif > 30_000.0 && vif < 40_000.0);
+  checkb "vf in the 55-65K band" true (vf > 55_000.0 && vf < 65_000.0)
+
+let test_shape_tunneling_capped () =
+  let tb, a, b = pair_testbed ~config:Compute.Cost_params.with_tunneling () in
+  Experiments.Testbed.connect_tunnels tb;
+  Workloads.Netperf.install_stream_sink ~vm:b.Host.Server.vm;
+  let streams =
+    Workloads.Netperf.tcp_stream ~engine:tb.Experiments.Testbed.engine
+      ~vm:a.Host.Server.vm
+      ~dst_ip:(Host.Vm.ip b.Host.Server.vm)
+      ~size:32000 ()
+  in
+  Experiments.Testbed.run_for tb ~seconds:0.4;
+  List.iter
+    (fun s ->
+      Workloads.Stream.reset_measurement s
+        ~now:(Engine.now tb.Experiments.Testbed.engine))
+    streams;
+  Experiments.Testbed.run_for tb ~seconds:0.6;
+  let now = Engine.now tb.Experiments.Testbed.engine in
+  let g = List.fold_left (fun acc s -> acc +. Workloads.Stream.goodput_gbps s ~now) 0.0 streams in
+  (* "The current OVS tunneling implementation was not able to support
+     throughputs beyond 2 Gbps." *)
+  checkb "<= ~2.2 Gb/s" true (g < 2.2);
+  checkb "but not collapsed" true (g > 1.0)
+
+let test_shape_closed_loop_latency () =
+  let rr path =
+    let tb, a, b = pair_testbed () in
+    if path = `Vf then begin
+      Experiments.Testbed.force_path_vf tb a;
+      Experiments.Testbed.force_path_vf tb b
+    end;
+    Workloads.Netperf.install_rr_server ~vm:b.Host.Server.vm ~response_size:64;
+    let c =
+      Workloads.Netperf.tcp_rr ~engine:tb.Experiments.Testbed.engine
+        ~vm:a.Host.Server.vm
+        ~dst_ip:(Host.Vm.ip b.Host.Server.vm)
+        ~size:64
+    in
+    Experiments.Testbed.run_for tb ~seconds:0.5;
+    Workloads.Transactions.Client.mean_latency_us c
+  in
+  let vif = rr `Vif and vf = rr `Vf in
+  checkb "sr-iov lower latency" true (vf < vif);
+  checkb "meaningfully lower" true (vif /. vf > 1.5)
+
+let suite =
+  let t name f = Alcotest.test_case name `Quick f in
+  [
+    t "transactions complete" test_transactions_complete;
+    t "transactions retry lost requests" test_transactions_retry_lost_requests;
+    t "stream goodput" test_stream_goodput_measured;
+    t "stream total bytes" test_stream_total_bytes_stops;
+    t "scp paced at ~135 pps" test_scp_paced_low_pps;
+    t "flowgen generates" test_flowgen_generates;
+    t "flowgen locality" test_flowgen_locality;
+    t "shape: burst tps ratio" test_shape_burst_tps_ratio;
+    t "shape: tunneling capped" test_shape_tunneling_capped;
+    t "shape: closed-loop latency" test_shape_closed_loop_latency;
+  ]
