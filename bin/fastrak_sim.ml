@@ -2,7 +2,18 @@
 
    fastrak_sim list
    fastrak_sim run fig3 table4 ...        (any subset)
-   fastrak_sim run all --scale 0.05       (scaled finish-time runs) *)
+   fastrak_sim run all --scale 0.05       (scaled finish-time runs)
+   fastrak_sim run table4 --trace t.jsonl --metrics-out m.json
+
+   The `ablation` experiment prints three sub-reports: the scoring
+   policy comparison, the TCAM budget sweep, and the control-interval
+   sweep. --scale shrinks the finish-time workloads (tables 2-4) to a
+   fraction of the paper's 2M requests per client; finish times are
+   normalised back, so absolute TPS/latency numbers are unaffected but
+   very small fractions coarsen the tail. --trace streams the control
+   plane's structured events (promotions, demotions, TCAM churn, FPS
+   splits) as JSONL; --metrics-out dumps the metrics registry with
+   per-experiment deltas. See docs/METRICS.md for both formats. *)
 
 open Cmdliner
 
@@ -16,7 +27,9 @@ let experiments =
     ("table3", "Table 3: finish times with scp background");
     ("table4", "Table 4: FasTrak end-to-end");
     ("fig12", "Figure 12: TCP progression across flow migration");
-    ("ablation", "Ablations: scoring policy, TCAM budget, control interval");
+    ( "ablation",
+      "Ablations, three sub-reports: scoring policy, TCAM budget sweep, \
+       control-interval sweep" );
   ]
 
 let run_one = function
@@ -53,18 +66,34 @@ let run_one = function
         (Experiments.Ablation.run_tcam ~capacities:[ 2; 6; 12; 24; 2048 ] ());
       Experiments.Ablation.print_interval
         (Experiments.Ablation.run_interval ~epochs:[ 0.05; 0.1; 0.25; 0.5 ] ())
-  | other -> Printf.eprintf "unknown experiment %S (try `list`)\n" other
+  | other ->
+      Printf.eprintf "unknown experiment %S (try `list`)\n" other;
+      Stdlib.exit 1
 
 let list_cmd =
   let doc = "List available experiments" in
   Cmd.v (Cmd.info "list" ~doc)
     Term.(
       const (fun () ->
-          List.iter (fun (id, d) -> Printf.printf "  %-10s %s\n" id d) experiments)
+          List.iter (fun (id, d) -> Printf.printf "  %-10s %s\n" id d) experiments;
+          print_newline ();
+          print_endline
+            "  Finish-time experiments (table2-4) honour --scale FRACTION: \
+             workloads";
+          print_endline
+            "  shrink to FRACTION of the paper's 2M requests/client and \
+             finish times";
+          print_endline
+            "  are normalised back, so TPS/latency match but small fractions \
+             coarsen";
+          print_endline "  the tail. Default 0.05.")
       $ const ())
 
 let run_cmd =
-  let doc = "Run one or more experiments ('all' for everything)" in
+  let doc =
+    "Run one or more experiments ('all' for everything), optionally tracing \
+     control-plane events and dumping metrics"
+  in
   let ids =
     Arg.(non_empty & pos_all string [] & info [] ~docv:"EXPERIMENT")
   in
@@ -75,17 +104,72 @@ let run_cmd =
       & info [ "scale" ] ~docv:"FRACTION"
           ~doc:
             "Fraction of the paper's 2M requests/client used by the \
-             finish-time experiments (finish times are normalised back).")
+             finish-time experiments (table2, table3, table4). Finish times \
+             are normalised back to full scale, so TPS and latency figures \
+             are unaffected, but very small fractions coarsen the reported \
+             tail.")
+  in
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Write a JSONL trace of control-plane events (flow promotions \
+             and demotions, TCAM installs/evicts, FPS splits, path \
+             transitions, epoch ticks) to $(docv). One JSON object per \
+             line, stamped with the sim clock; see docs/METRICS.md.")
+  in
+  let metrics_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"FILE"
+          ~doc:
+            "After all runs, dump the metrics registry to $(docv) with \
+             per-experiment deltas and process totals. A $(b,.csv) suffix \
+             selects CSV; anything else writes JSON.")
   in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
-      const (fun scale ids ->
+      const (fun scale trace metrics_out ids ->
           Experiments.Memcached_eval.requests_scale := scale;
+          let open_out_or_die file =
+            try open_out file
+            with Sys_error msg ->
+              Printf.eprintf "fastrak_sim: cannot open output file: %s\n" msg;
+              Stdlib.exit 1
+          in
+          (* Open both sinks before any experiment runs, so a bad path
+             fails in milliseconds instead of after the last run. *)
+          let metrics_oc = Option.map open_out_or_die metrics_out in
+          let trace_oc =
+            Option.map
+              (fun file ->
+                let oc = open_out_or_die file in
+                Obs.Trace.use_jsonl oc;
+                oc)
+              trace
+          in
           let ids =
             if List.mem "all" ids then List.map fst experiments else ids
           in
-          List.iter run_one ids)
-      $ scale $ ids)
+          List.iter
+            (fun id -> Experiments.Metric_snapshot.record ~id (fun () -> run_one id))
+            ids;
+          (match trace_oc with
+          | Some oc ->
+              Obs.Trace.disable ();
+              close_out oc
+          | None -> ());
+          match (metrics_out, metrics_oc) with
+          | Some file, Some oc ->
+              if Filename.check_suffix file ".csv" then
+                Experiments.Metric_snapshot.write_csv oc
+              else Experiments.Metric_snapshot.write_json oc;
+              close_out oc
+          | _ -> ())
+      $ scale $ trace $ metrics_out $ ids)
 
 let () =
   let doc = "FasTrak (CoNEXT 2013) reproduction simulator" in

@@ -51,7 +51,12 @@ let build_units candidates =
   in
   group_units @ single_units
 
+let m_calls = Obs.Metrics.counter "fastrak.decide.calls"
+let m_offloads = Obs.Metrics.counter "fastrak.decide.offloads"
+let m_demotes = Obs.Metrics.counter "fastrak.decide.demotes"
+
 let decide ~candidates ~offloaded ~tcam_free ?(max_offloads = None) ~min_score () =
+  Obs.Metrics.incr m_calls;
   (* Total budget: free entries plus everything currently offloaded,
      since non-winners are demoted and return their entries. *)
   let budget =
@@ -86,4 +91,6 @@ let decide ~candidates ~offloaded ~tcam_free ?(max_offloads = None) ~min_score (
       (fun (p, c) -> if selected_pattern p then None else Some c)
       offloaded
   in
+  Obs.Metrics.add m_offloads (List.length offload);
+  Obs.Metrics.add m_demotes (List.length demote);
   { offload; demote; keep }

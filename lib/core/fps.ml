@@ -10,7 +10,10 @@ type split = { soft : Rules.Rate_limit_spec.t; hard : Rules.Rate_limit_spec.t }
 let floor_fraction = 0.05
 let maxed_boost = 1.25
 
+let m_splits = Obs.Metrics.counter "fastrak.fps.splits"
+
 let split ~total_bps ~overflow_bps ~current input =
+  Obs.Metrics.incr m_splits;
   if total_bps = infinity then
     { soft = Rules.Rate_limit_spec.unlimited; hard = Rules.Rate_limit_spec.unlimited }
   else begin

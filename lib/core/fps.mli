@@ -11,7 +11,7 @@ type input = {
   demand_soft_bps : float;  (** Measured software-path demand. *)
   demand_hard_bps : float;  (** Measured hardware-path demand. *)
   soft_maxed : bool;  (** Software limiter was backlogged. *)
-  hard_maxed : bool;
+  hard_maxed : bool;  (** Hardware limiter was backlogged. *)
 }
 
 type split = {
@@ -27,3 +27,4 @@ val split :
     unlimited total, both splits are unlimited. *)
 
 val pp : Format.formatter -> split -> unit
+(** Debug printer: [fps{soft=... hard=...}]. *)

@@ -26,6 +26,9 @@ type vm_rate_state = {
   mutable current_rx_split : Fps.split option;
 }
 
+let m_path_to_express = Obs.Metrics.counter "fastrak.path_to_express"
+let m_path_to_software = Obs.Metrics.counter "fastrak.path_to_software"
+
 type t = {
   engine : Engine.t;
   config : Config.t;
@@ -163,6 +166,15 @@ let apply_fps t =
                   ~current:st.current_tx_split input_tx
               in
               st.current_tx_split <- Some split;
+              if Obs.Trace.enabled () then
+                Obs.Trace.emit ~now:(Engine.now t.engine)
+                  (Obs.Trace.Fps_split
+                     {
+                       vm_ip = Host.Vm.ip a.vm;
+                       direction = Obs.Trace.Tx;
+                       soft_bps = split.Fps.soft.Rules.Rate_limit_spec.rate_bps;
+                       hard_bps = split.Fps.hard.Rules.Rate_limit_spec.rate_bps;
+                     });
               Vswitch.Ovs.set_vif_tx_limit a.vif split.Fps.soft;
               Nic.Sriov.set_vf_tx_limit vf split.Fps.hard
             end;
@@ -173,6 +185,15 @@ let apply_fps t =
                   ~current:st.current_rx_split input_rx
               in
               st.current_rx_split <- Some split;
+              if Obs.Trace.enabled () then
+                Obs.Trace.emit ~now:(Engine.now t.engine)
+                  (Obs.Trace.Fps_split
+                     {
+                       vm_ip = Host.Vm.ip a.vm;
+                       direction = Obs.Trace.Rx;
+                       soft_bps = split.Fps.soft.Rules.Rate_limit_spec.rate_bps;
+                       hard_bps = split.Fps.hard.Rules.Rate_limit_spec.rate_bps;
+                     });
               Vswitch.Ovs.set_vif_rx_limit a.vif split.Fps.soft;
               Nic.Sriov.set_vf_rx_limit vf split.Fps.hard
             end;
@@ -238,7 +259,12 @@ let handle_directive t = function
             List.iter (fun flow -> Vswitch.Ovs.set_flow_blocked ovs flow true) matching;
             t.offloaded <-
               { off_vm_ip = vm_ip; off_pattern = pattern; placer_rule; blocked_flows = matching }
-              :: t.offloaded
+              :: t.offloaded;
+            Obs.Metrics.incr m_path_to_express;
+            if Obs.Trace.enabled () then
+              Obs.Trace.emit ~now:(Engine.now t.engine)
+                (Obs.Trace.Path_transition
+                   { vm_ip; pattern; path = Obs.Trace.Express })
           end)
   | Demote { vm_ip; pattern } -> (
       let matches o =
@@ -254,7 +280,12 @@ let handle_directive t = function
           List.iter
             (fun flow -> Vswitch.Ovs.set_flow_blocked ovs flow false)
             o.blocked_flows;
-          t.offloaded <- List.filter (fun x -> not (matches x)) t.offloaded)
+          t.offloaded <- List.filter (fun x -> not (matches x)) t.offloaded;
+          Obs.Metrics.incr m_path_to_software;
+          if Obs.Trace.enabled () then
+            Obs.Trace.emit ~now:(Engine.now t.engine)
+              (Obs.Trace.Path_transition
+                 { vm_ip; pattern; path = Obs.Trace.Software }))
 
 let offloaded_patterns t = List.map (fun o -> o.off_pattern) t.offloaded
 

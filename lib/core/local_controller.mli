@@ -8,6 +8,8 @@
     VMs through the OpenFlow interface and re-adjusting the FPS rate
     limit split on each VM's VIF/VF interface pair. *)
 
+(** A TOR controller decision concerning one aggregate of one resident
+    VM, delivered over the directive channel. *)
 type directive =
   | Offload of { vm_ip : Netcore.Ipv4.t; pattern : Netcore.Fkey.Pattern.t }
   | Demote of { vm_ip : Netcore.Ipv4.t; pattern : Netcore.Fkey.Pattern.t }
@@ -16,15 +18,27 @@ type demand_report = {
   server : string;
   report : Measurement_engine.report;
 }
+(** One control interval's measurements, tagged with the reporting
+    server's name so the TOR controller can attribute them. *)
 
 type t
 
 val create :
   engine:Dcsim.Engine.t -> config:Config.t -> server:Host.Server.t -> t
+(** Build the controller for one server, including its measurement
+    engine over the server's OVS flow table. Call {!start} to begin
+    polling. *)
 
 val server_name : t -> string
+(** The managed server's name, as used in directives and reports. *)
+
 val start : t -> unit
+(** Start the measurement engine; every control interval the demand
+    profiles update, FPS re-splits each VM's rate limit, and a report
+    ships to the sink. Idempotent. *)
+
 val stop : t -> unit
+(** Halt the measurement engine; pending epochs are abandoned. *)
 
 val set_report_sink : t -> (demand_report -> unit) -> unit
 (** Where control-interval reports go (the TOR controller's channel). *)
@@ -36,6 +50,9 @@ val handle_directive : t -> directive -> unit
     recompute the FPS split for the affected VM. *)
 
 val offloaded_patterns : t -> Netcore.Fkey.Pattern.t list
+(** Aggregates this server's flow placers currently steer to the VF
+    (i.e. directives applied, in arrival order, newest first). *)
+
 val profile : t -> vm_ip:Netcore.Ipv4.t -> Demand_profile.t option
 (** The demand profile accumulated for a resident VM. *)
 
@@ -43,3 +60,5 @@ val adopt_profile : t -> Demand_profile.t -> unit
 (** Install a migrated-in VM's profile (S4). *)
 
 val measurement_engine : t -> Measurement_engine.t
+(** The controller's own measurement engine (for inspection in tests
+    and experiments). *)

@@ -41,6 +41,9 @@ type t = {
   mutable report_cb : report -> unit;
 }
 
+let m_epochs = Obs.Metrics.counter "fastrak.me.epochs"
+let m_reports = Obs.Metrics.counter "fastrak.me.reports"
+
 let create ~engine ~config ~name ~poll ~classify =
   {
     engine;
@@ -137,6 +140,11 @@ let run_epoch t k =
              record.bps_history <- trim limit (bps :: record.bps_history))
            t.records;
          t.epochs <- t.epochs + 1;
+         Obs.Metrics.incr m_epochs;
+         if Obs.Trace.enabled () then
+           Obs.Trace.emit ~now:(Engine.now t.engine)
+             (Obs.Trace.Epoch_tick
+                { me = t.me_name; epoch = t.epochs; interval = t.intervals });
          k ()))
 
 let build_report t =
@@ -164,6 +172,7 @@ let build_report t =
       t.records []
   in
   t.intervals <- t.intervals + 1;
+  Obs.Metrics.incr m_reports;
   { interval_index = t.intervals; entries }
 
 let start t =

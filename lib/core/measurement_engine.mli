@@ -48,9 +48,15 @@ val start : t -> unit
     now). Idempotent. *)
 
 val stop : t -> unit
+(** Halt the epoch schedule; an in-flight poll gap completes but no
+    further epochs start. Restartable with {!start}. *)
 
 val on_report : t -> (report -> unit) -> unit
 (** Called at the end of every control interval. *)
 
 val epochs_completed : t -> int
+(** Total epochs finished since creation (not reset by {!stop}). *)
+
 val intervals_completed : t -> int
+(** Total control intervals closed — equals the [interval_index] of the
+    latest report. *)

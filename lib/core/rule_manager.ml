@@ -1,5 +1,7 @@
 module Engine = Dcsim.Engine
 
+let m_vm_migrations = Obs.Metrics.counter "fastrak.vm_migrations"
+
 type t = {
   engine : Engine.t;
   config : Config.t;
@@ -58,6 +60,7 @@ let offloaded_count t = Tor_controller.offloaded_count t.tor_ctrl
 
 let prepare_vm_migration t ~tenant ~vm_ip =
   ignore tenant;
+  Obs.Metrics.incr m_vm_migrations;
   Tor_controller.demote_all_for_vm t.tor_ctrl ~vm_ip;
   List.find_map (fun (_, local) -> Local_controller.profile local ~vm_ip) t.locals
 

@@ -18,12 +18,27 @@ val create :
   ?group_of:(Netcore.Fkey.Pattern.t -> int option) ->
   unit ->
   t
+(** Build the whole control plane for one rack: a local controller per
+    server in [servers], the TOR controller, and the latency-bearing
+    report/directive channels between them. [tenant_priority] is the
+    per-tenant weight c in S = n x m_pps x c; [group_of] assigns
+    patterns to all-or-none offload groups. *)
 
 val start : t -> unit
+(** Start every local controller and the TOR decision loop. *)
+
 val stop : t -> unit
+(** Stop all controllers; offloaded rules stay installed. *)
+
 val tor_controller : t -> Tor_controller.t
+(** The rack's TOR controller. *)
+
 val local_controller : t -> server:string -> Local_controller.t option
+(** The local controller managing [server], if that name exists. *)
+
 val offloaded_count : t -> int
+(** Number of aggregates currently offloaded rack-wide (the TOR
+    controller's count). *)
 
 val prepare_vm_migration :
   t -> tenant:Netcore.Tenant.id -> vm_ip:Netcore.Ipv4.t -> Demand_profile.t option

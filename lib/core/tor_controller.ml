@@ -12,6 +12,11 @@ type offload_state = {
   mutable os_score : float;
 }
 
+let m_promotions = Obs.Metrics.counter "fastrak.promotions"
+let m_demotions = Obs.Metrics.counter "fastrak.demotions"
+let m_offloaded_current = Obs.Metrics.gauge "fastrak.offloaded_current"
+let m_offload_score = Obs.Metrics.summary "fastrak.offload.score"
+
 type t = {
   engine : Engine.t;
   config : Config.t;
@@ -198,6 +203,26 @@ let apply_offload t (c : Decision_engine.candidate) ~server =
               | None -> Tor.Vrf.remove vrf handle
               | Some chan ->
                   t.offloaded <- state :: t.offloaded;
+                  Obs.Metrics.incr m_promotions;
+                  Obs.Metrics.set_gauge m_offloaded_current
+                    (float_of_int (List.length t.offloaded));
+                  Obs.Metrics.observe m_offload_score c.score;
+                  if Obs.Trace.enabled () then begin
+                    let now = Engine.now t.engine in
+                    Obs.Trace.emit ~now
+                      (Obs.Trace.Flow_promoted
+                         {
+                           pattern = c.pattern;
+                           tenant = c.tenant;
+                           vm_ip = c.vm_ip;
+                           server;
+                           score = c.score;
+                           tcam_entries = state.os_entries;
+                         });
+                    Obs.Trace.emit ~now
+                      (Obs.Trace.Rule_pushed
+                         { server; pattern = c.pattern; push = `Offload })
+                  end;
                   (* Make-before-break: VRF rules are live before the
                      flow placer redirects the first packet. *)
                   Openflow.Channel.send chan
@@ -208,10 +233,27 @@ let grace_before_vrf_removal t =
     (Simtime.span_scale 2.0 t.config.Config.controller_latency)
     (Simtime.span_ms 10.0)
 
-let apply_demote t os =
+let apply_demote t os ~reason =
   t.offloaded <- List.filter (fun x -> x != os) t.offloaded;
+  Obs.Metrics.incr m_demotions;
+  Obs.Metrics.set_gauge m_offloaded_current
+    (float_of_int (List.length t.offloaded));
+  if Obs.Trace.enabled () then
+    Obs.Trace.emit ~now:(Engine.now t.engine)
+      (Obs.Trace.Flow_demoted
+         {
+           pattern = os.os_pattern;
+           tenant = os.os_tenant;
+           vm_ip = os.os_vm_ip;
+           server = os.os_server;
+           reason;
+         });
   (match directive_channel t os.os_server with
   | Some chan ->
+      if Obs.Trace.enabled () then
+        Obs.Trace.emit ~now:(Engine.now t.engine)
+          (Obs.Trace.Rule_pushed
+             { server = os.os_server; pattern = os.os_pattern; push = `Demote });
       Openflow.Channel.send chan
         (Local_controller.Demote { vm_ip = os.os_vm_ip; pattern = os.os_pattern })
   | None -> ());
@@ -255,7 +297,7 @@ let run_decision t =
           (fun os -> Fkey.Pattern.equal os.os_pattern c.Decision_engine.pattern)
           t.offloaded
       with
-      | Some os -> apply_demote t os
+      | Some os -> apply_demote t os ~reason:"deselected"
       | None -> ())
     decision.Decision_engine.demote;
   List.iter
@@ -304,4 +346,4 @@ let demote_all_for_vm t ~vm_ip =
   let mine, _rest =
     List.partition (fun os -> Netcore.Ipv4.equal os.os_vm_ip vm_ip) t.offloaded
   in
-  List.iter (fun os -> apply_demote t os) mine
+  List.iter (fun os -> apply_demote t os ~reason:"vm_migration") mine

@@ -22,6 +22,11 @@ val create :
   ?group_of:(Netcore.Fkey.Pattern.t -> int option) ->
   unit ->
   t
+(** Build the controller for [tor], including its measurement engine
+    over the ToR's hardware flow counters. [lookup_vm] resolves a VM to
+    its hosting server (needed to compile offload rules against the
+    VM's policy); [tenant_priority] and [group_of] are as in
+    {!Rule_manager.create}. *)
 
 val register_local :
   t ->
@@ -32,15 +37,25 @@ val register_local :
     the rule manager creates whose handler is {!receive_report}. *)
 
 val receive_report : t -> Local_controller.demand_report -> unit
+(** Ingest one server's control-interval report, replacing that
+    server's previous one. The next decision tick reads the latest
+    report from every server. *)
 
 val start : t -> unit
 (** Start the TOR ME and the per-control-interval decision loop. *)
 
 val stop : t -> unit
+(** Stop the decision loop and the TOR ME; offloaded rules remain. *)
 
 val offloaded_count : t -> int
+(** Aggregates whose rules are currently installed in the ToR. *)
+
 val offloaded_patterns : t -> Netcore.Fkey.Pattern.t list
+(** The installed aggregates' patterns, newest offload first. *)
+
 val decisions_made : t -> int
+(** Decision ticks run since {!start} (one per control interval). *)
+
 val demote_all_for_vm : t -> vm_ip:Netcore.Ipv4.t -> unit
 (** Synchronously return every offloaded rule of one VM to its
     hypervisor — the pre-VM-migration step (§4.1.2). *)

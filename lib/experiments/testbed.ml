@@ -17,6 +17,9 @@ let tor_address = Ipv4.of_octets 192 168 0 1
 let create ?(seed = 42) ?(config = Compute.Cost_params.baseline)
     ?(server_count = 6) ?(tcam_capacity = 2048) () =
   let engine = Engine.create ~seed () in
+  (* Emission sites below the engine (TCAM, VRF) stamp events with the
+     registered clock; the newest testbed's engine wins. *)
+  Obs.Trace.set_clock (fun () -> Engine.now engine);
   let tor =
     Tor.Tor_switch.create ~engine ~ip:tor_address ~tcam_capacity
   in

@@ -3,6 +3,10 @@ module Engine = Dcsim.Engine
 module Packet = Netcore.Packet
 module Cost = Compute.Cost_params
 
+let m_vf_tx = Obs.Metrics.counter "nic.vf_tx_packets"
+let m_vf_rx = Obs.Metrics.counter "nic.vf_rx_packets"
+let m_steering_drops = Obs.Metrics.counter "nic.steering_drops"
+
 type vf = {
   mac : Netcore.Mac.t;
   vlan : int;
@@ -85,6 +89,7 @@ let vf_rx_bytes vf = Shaping.Shaper.forwarded_bytes vf.rx_shaper
 let vf_vlan vf = vf.vlan
 
 let transmit_from_vf vf pkt =
+  Obs.Metrics.incr m_vf_tx;
   Packet.push_encap pkt (Packet.Vlan vf.vlan);
   Shaping.Shaper.enqueue vf.tx_shaper pkt
 
@@ -97,8 +102,13 @@ let receive_from_wire t pkt =
        with
       | Some vf ->
           ignore (Packet.pop_encap pkt);
+          Obs.Metrics.incr m_vf_rx;
           Shaping.Shaper.enqueue vf.rx_shaper pkt
-      | None -> t.dropped <- t.dropped + 1)
-  | Some (Packet.Gre _ | Packet.Vxlan _) | None -> t.dropped <- t.dropped + 1
+      | None ->
+          t.dropped <- t.dropped + 1;
+          Obs.Metrics.incr m_steering_drops)
+  | Some (Packet.Gre _ | Packet.Vxlan _) | None ->
+      t.dropped <- t.dropped + 1;
+      Obs.Metrics.incr m_steering_drops
 
 let packets_dropped t = t.dropped

@@ -1,0 +1,101 @@
+(** Simulator-wide metrics registry.
+
+    Components declare named instruments once (typically at module
+    initialisation) and update them on their hot paths; an instrument is
+    shared by every component instance that asks for the same name, so
+    e.g. ["vswitch.upcalls"] aggregates across all servers of a testbed.
+    Updates are a single in-place mutation — cheap enough to leave on
+    unconditionally, which keeps untraced runs byte-identical while the
+    registry still answers "what happened" at any point.
+
+    Aggregation reuses {!Dcsim.Stats}: summaries are Welford streams,
+    histograms are the log-bucketed latency histograms. The registry can
+    be dumped to JSON or CSV at end of run (the CLI's [--metrics-out]),
+    and {!snapshot}/{!diff} support per-experiment deltas.
+
+    Naming convention: [<library>.<component>.<what>], lower-case, e.g.
+    ["tor.tcam.used"], ["fastrak.promotions"]. The full catalogue lives
+    in [docs/METRICS.md]. *)
+
+type t
+(** A registry. Most code uses the implicit {!default} registry. *)
+
+val create : unit -> t
+val default : t
+
+(** {1 Instruments}
+
+    Each accessor is get-or-create: the first call under a name fixes
+    its kind; asking for the same name with a different kind raises
+    [Invalid_argument]. *)
+
+type counter
+
+val counter : ?registry:t -> string -> counter
+(** Monotonically increasing integer count. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val counter_value : counter -> int
+
+type gauge
+
+val gauge : ?registry:t -> string -> gauge
+(** Last-written float value (e.g. current TCAM occupancy). *)
+
+val set_gauge : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+type summary
+
+val summary : ?registry:t -> string -> summary
+(** Streaming count/sum/mean/min/max over observed values
+    ({!Dcsim.Stats.Summary}). *)
+
+val observe : summary -> float -> unit
+
+type histogram
+
+val histogram : ?registry:t -> string -> histogram
+(** Log-bucketed percentile histogram ({!Dcsim.Stats.Histogram}). *)
+
+val record : histogram -> float -> unit
+
+(** {1 Snapshots and dumps} *)
+
+type value =
+  | Counter_v of int
+  | Gauge_v of float
+  | Summary_v of {
+      count : int;
+      sum : float;
+      mean : float;
+      vmin : float;
+      vmax : float;
+    }
+  | Histogram_v of { count : int; mean : float; p50 : float; p99 : float; hmax : float }
+
+val snapshot : ?registry:t -> unit -> (string * value) list
+(** Current value of every registered instrument, sorted by name. *)
+
+val find : ?registry:t -> string -> value option
+
+val diff :
+  before:(string * value) list ->
+  after:(string * value) list ->
+  (string * value) list
+(** Per-experiment delta between two snapshots: counters subtract;
+    summaries and histograms subtract count/sum and keep the [after]
+    shape statistics; gauges report the [after] value. Instruments that
+    did not move between the snapshots are dropped. *)
+
+val to_json : (string * value) list -> string
+(** A single JSON object keyed by metric name. Counters and gauges are
+    bare numbers; summaries and histograms are objects. *)
+
+val to_csv : (string * value) list -> string
+(** Header [name,kind,count,value,mean,min,max,p50,p99]; the [value]
+    column is the count/sum for aggregating instruments. *)
+
+val reset : ?registry:t -> unit -> unit
+(** Zero every instrument in place (handles stay valid). *)

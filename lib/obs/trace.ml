@@ -1,0 +1,389 @@
+module Simtime = Dcsim.Simtime
+module Fkey = Netcore.Fkey
+module Ipv4 = Netcore.Ipv4
+module Tenant = Netcore.Tenant
+
+type direction = Tx | Rx
+type path = Software | Express
+
+type event =
+  | Flow_promoted of {
+      pattern : Fkey.Pattern.t;
+      tenant : Tenant.id;
+      vm_ip : Ipv4.t;
+      server : string;
+      score : float;
+      tcam_entries : int;
+    }
+  | Flow_demoted of {
+      pattern : Fkey.Pattern.t;
+      tenant : Tenant.id;
+      vm_ip : Ipv4.t;
+      server : string;
+      reason : string;
+    }
+  | Tcam_install of {
+      tenant : Tenant.id;
+      entries : int;
+      used : int;
+      capacity : int;
+    }
+  | Tcam_evict of {
+      tenant : Tenant.id;
+      entries : int;
+      used : int;
+      capacity : int;
+    }
+  | Fps_split of {
+      vm_ip : Ipv4.t;
+      direction : direction;
+      soft_bps : float;
+      hard_bps : float;
+    }
+  | Path_transition of { vm_ip : Ipv4.t; pattern : Fkey.Pattern.t; path : path }
+  | Rule_pushed of {
+      server : string;
+      pattern : Fkey.Pattern.t;
+      push : [ `Offload | `Demote ];
+    }
+  | Epoch_tick of { me : string; epoch : int; interval : int }
+
+(* --- Pattern codec --- *)
+
+let proto_to_token = function
+  | Fkey.Tcp -> "tcp"
+  | Fkey.Udp -> "udp"
+  | Fkey.Icmp -> "icmp"
+  | Fkey.Other n -> "p" ^ string_of_int n
+
+let proto_of_token = function
+  | "tcp" -> Some Fkey.Tcp
+  | "udp" -> Some Fkey.Udp
+  | "icmp" -> Some Fkey.Icmp
+  | s when String.length s > 1 && s.[0] = 'p' -> (
+      match int_of_string_opt (String.sub s 1 (String.length s - 1)) with
+      | Some n -> Some (Fkey.Other n)
+      | None -> None)
+  | _ -> None
+
+let field f = function None -> "*" | Some v -> f v
+
+let pattern_to_string (p : Fkey.Pattern.t) =
+  String.concat "/"
+    [
+      field Ipv4.to_string p.Fkey.Pattern.src_ip;
+      field Ipv4.to_string p.dst_ip;
+      field string_of_int p.src_port;
+      field string_of_int p.dst_port;
+      field proto_to_token p.proto;
+      field (fun t -> string_of_int (Tenant.to_int t)) p.tenant;
+    ]
+
+let unfield f = function "*" -> Some None | s -> Option.map Option.some (f s)
+
+let ip_of_string_opt s =
+  match Ipv4.of_string s with ip -> Some ip | exception _ -> None
+
+let pattern_of_string s =
+  match String.split_on_char '/' s with
+  | [ si; di; sp; dp; pr; te ] -> (
+      let ( let* ) = Option.bind in
+      let* src_ip = unfield ip_of_string_opt si in
+      let* dst_ip = unfield ip_of_string_opt di in
+      let* src_port = unfield int_of_string_opt sp in
+      let* dst_port = unfield int_of_string_opt dp in
+      let* proto = unfield proto_of_token pr in
+      let* tenant =
+        unfield
+          (fun s ->
+            match int_of_string_opt s with
+            | Some n when n >= 0 -> Some (Tenant.of_int n)
+            | _ -> None)
+          te
+      in
+      Some
+        { Fkey.Pattern.src_ip; dst_ip; src_port; dst_port; proto; tenant })
+  | _ -> None
+
+(* --- JSONL encoding --- *)
+
+let escape s =
+  if String.for_all (fun c -> c <> '"' && c <> '\\' && c >= ' ') s then s
+  else begin
+    let b = Buffer.create (String.length s + 4) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | c when c < ' ' -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+  end
+
+let kv_s b k v = Buffer.add_string b (Printf.sprintf ",%S:\"%s\"" k (escape v))
+let kv_i b k v = Buffer.add_string b (Printf.sprintf ",%S:%d" k v)
+
+let kv_f b k v =
+  (* %.17g round-trips every finite float exactly. *)
+  Buffer.add_string b (Printf.sprintf ",%S:%.17g" k v)
+
+let kv_pattern b k p = kv_s b k (pattern_to_string p)
+let kv_tenant b k t = kv_i b k (Tenant.to_int t)
+let kv_ip b k ip = kv_s b k (Ipv4.to_string ip)
+
+let to_jsonl now event =
+  let b = Buffer.create 160 in
+  Buffer.add_string b
+    (Printf.sprintf "{\"t_ns\":%d,\"t\":%.9f" (Simtime.to_ns now)
+       (Simtime.to_sec now));
+  let ev name = kv_s b "ev" name in
+  (match event with
+  | Flow_promoted { pattern; tenant; vm_ip; server; score; tcam_entries } ->
+      ev "flow_promoted";
+      kv_pattern b "pattern" pattern;
+      kv_tenant b "tenant" tenant;
+      kv_ip b "vm_ip" vm_ip;
+      kv_s b "server" server;
+      kv_f b "score" score;
+      kv_i b "tcam_entries" tcam_entries
+  | Flow_demoted { pattern; tenant; vm_ip; server; reason } ->
+      ev "flow_demoted";
+      kv_pattern b "pattern" pattern;
+      kv_tenant b "tenant" tenant;
+      kv_ip b "vm_ip" vm_ip;
+      kv_s b "server" server;
+      kv_s b "reason" reason
+  | Tcam_install { tenant; entries; used; capacity } ->
+      ev "tcam_install";
+      kv_tenant b "tenant" tenant;
+      kv_i b "entries" entries;
+      kv_i b "used" used;
+      kv_i b "capacity" capacity
+  | Tcam_evict { tenant; entries; used; capacity } ->
+      ev "tcam_evict";
+      kv_tenant b "tenant" tenant;
+      kv_i b "entries" entries;
+      kv_i b "used" used;
+      kv_i b "capacity" capacity
+  | Fps_split { vm_ip; direction; soft_bps; hard_bps } ->
+      ev "fps_split";
+      kv_ip b "vm_ip" vm_ip;
+      kv_s b "dir" (match direction with Tx -> "tx" | Rx -> "rx");
+      kv_f b "soft_bps" soft_bps;
+      kv_f b "hard_bps" hard_bps
+  | Path_transition { vm_ip; pattern; path } ->
+      ev "path_transition";
+      kv_ip b "vm_ip" vm_ip;
+      kv_pattern b "pattern" pattern;
+      kv_s b "path" (match path with Software -> "software" | Express -> "express")
+  | Rule_pushed { server; pattern; push } ->
+      ev "rule_pushed";
+      kv_s b "server" server;
+      kv_pattern b "pattern" pattern;
+      kv_s b "push" (match push with `Offload -> "offload" | `Demote -> "demote")
+  | Epoch_tick { me; epoch; interval } ->
+      ev "epoch_tick";
+      kv_s b "me" me;
+      kv_i b "epoch" epoch;
+      kv_i b "interval" interval);
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+(* --- Flat JSON parsing (just enough for our own encoder's output) --- *)
+
+type jv = S of string | I of int | F of float
+
+let parse_flat line =
+  let n = String.length line in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some line.[!pos] else None in
+  let skip_ws () =
+    while !pos < n && (line.[!pos] = ' ' || line.[!pos] = '\t') do incr pos done
+  in
+  let expect c =
+    skip_ws ();
+    if peek () = Some c then begin incr pos; true end else false
+  in
+  let parse_string () =
+    if not (expect '"') then None
+    else begin
+      let b = Buffer.create 16 in
+      let rec loop () =
+        if !pos >= n then None
+        else
+          match line.[!pos] with
+          | '"' -> incr pos; Some (Buffer.contents b)
+          | '\\' when !pos + 1 < n ->
+              (match line.[!pos + 1] with
+              | '"' -> Buffer.add_char b '"'; pos := !pos + 2
+              | '\\' -> Buffer.add_char b '\\'; pos := !pos + 2
+              | 'u' when !pos + 5 < n ->
+                  (match int_of_string_opt ("0x" ^ String.sub line (!pos + 2) 4) with
+                  | Some code when code < 128 -> Buffer.add_char b (Char.chr code)
+                  | _ -> Buffer.add_char b '?');
+                  pos := !pos + 6
+              | c -> Buffer.add_char b c; pos := !pos + 2);
+              loop ()
+          | c -> Buffer.add_char b c; incr pos; loop ()
+      in
+      loop ()
+    end
+  in
+  let parse_number () =
+    skip_ws ();
+    let start = !pos in
+    let num_char c =
+      (c >= '0' && c <= '9') || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
+    in
+    while !pos < n && num_char line.[!pos] do incr pos done;
+    if !pos = start then None
+    else begin
+      let s = String.sub line start (!pos - start) in
+      match int_of_string_opt s with
+      | Some i -> Some (I i)
+      | None -> Option.map (fun f -> F f) (float_of_string_opt s)
+    end
+  in
+  let parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '"' -> Option.map (fun s -> S s) (parse_string ())
+    | _ -> parse_number ()
+  in
+  if not (expect '{') then None
+  else begin
+    let rec pairs acc =
+      skip_ws ();
+      if expect '}' then Some (List.rev acc)
+      else
+        match parse_string () with
+        | None -> None
+        | Some key ->
+            if not (expect ':') then None
+            else begin
+              match parse_value () with
+              | None -> None
+              | Some v ->
+                  skip_ws ();
+                  if expect ',' then pairs ((key, v) :: acc)
+                  else if expect '}' then Some (List.rev ((key, v) :: acc))
+                  else None
+            end
+    in
+    pairs []
+  end
+
+let of_jsonl line =
+  let ( let* ) = Option.bind in
+  let* fields = parse_flat line in
+  let str k = match List.assoc_opt k fields with Some (S s) -> Some s | _ -> None in
+  let int k = match List.assoc_opt k fields with Some (I i) -> Some i | _ -> None in
+  let flt k =
+    match List.assoc_opt k fields with
+    | Some (F f) -> Some f
+    | Some (I i) -> Some (float_of_int i)
+    | _ -> None
+  in
+  let pat k = Option.bind (str k) pattern_of_string in
+  let ip k = Option.bind (str k) ip_of_string_opt in
+  let tenant k =
+    Option.bind (int k) (fun n -> if n >= 0 then Some (Tenant.of_int n) else None)
+  in
+  let* t_ns = int "t_ns" in
+  let now = Simtime.of_ns t_ns in
+  let* ev = str "ev" in
+  let* event =
+    match ev with
+    | "flow_promoted" ->
+        let* pattern = pat "pattern" in
+        let* tenant = tenant "tenant" in
+        let* vm_ip = ip "vm_ip" in
+        let* server = str "server" in
+        let* score = flt "score" in
+        let* tcam_entries = int "tcam_entries" in
+        Some (Flow_promoted { pattern; tenant; vm_ip; server; score; tcam_entries })
+    | "flow_demoted" ->
+        let* pattern = pat "pattern" in
+        let* tenant = tenant "tenant" in
+        let* vm_ip = ip "vm_ip" in
+        let* server = str "server" in
+        let* reason = str "reason" in
+        Some (Flow_demoted { pattern; tenant; vm_ip; server; reason })
+    | "tcam_install" | "tcam_evict" ->
+        let* tenant = tenant "tenant" in
+        let* entries = int "entries" in
+        let* used = int "used" in
+        let* capacity = int "capacity" in
+        Some
+          (if ev = "tcam_install" then
+             Tcam_install { tenant; entries; used; capacity }
+           else Tcam_evict { tenant; entries; used; capacity })
+    | "fps_split" ->
+        let* vm_ip = ip "vm_ip" in
+        let* dir = str "dir" in
+        let* direction =
+          match dir with "tx" -> Some Tx | "rx" -> Some Rx | _ -> None
+        in
+        let* soft_bps = flt "soft_bps" in
+        let* hard_bps = flt "hard_bps" in
+        Some (Fps_split { vm_ip; direction; soft_bps; hard_bps })
+    | "path_transition" ->
+        let* vm_ip = ip "vm_ip" in
+        let* pattern = pat "pattern" in
+        let* path =
+          match str "path" with
+          | Some "software" -> Some Software
+          | Some "express" -> Some Express
+          | _ -> None
+        in
+        Some (Path_transition { vm_ip; pattern; path })
+    | "rule_pushed" ->
+        let* server = str "server" in
+        let* pattern = pat "pattern" in
+        let* push =
+          match str "push" with
+          | Some "offload" -> Some `Offload
+          | Some "demote" -> Some `Demote
+          | _ -> None
+        in
+        Some (Rule_pushed { server; pattern; push })
+    | "epoch_tick" ->
+        let* me = str "me" in
+        let* epoch = int "epoch" in
+        let* interval = int "interval" in
+        Some (Epoch_tick { me; epoch; interval })
+    | _ -> None
+  in
+  Some (now, event)
+
+(* --- Sink --- *)
+
+type sink =
+  | Off
+  | Jsonl of out_channel
+  | Callback of (Simtime.t -> event -> unit)
+
+let sink = ref Off
+let clock = ref (fun () -> Simtime.zero)
+let set_clock f = clock := f
+let enabled () = match !sink with Off -> false | Jsonl _ | Callback _ -> true
+
+let emit ?now event =
+  match !sink with
+  | Off -> ()
+  | Jsonl oc ->
+      let now = match now with Some t -> t | None -> !clock () in
+      output_string oc (to_jsonl now event);
+      output_char oc '\n'
+  | Callback f ->
+      let now = match now with Some t -> t | None -> !clock () in
+      f now event
+
+let use_jsonl oc = sink := Jsonl oc
+let use_callback f = sink := Callback f
+
+let disable () =
+  (match !sink with Jsonl oc -> flush oc | Off | Callback _ -> ());
+  sink := Off

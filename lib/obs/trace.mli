@@ -1,0 +1,126 @@
+(** Structured trace sink for the simulator.
+
+    Every decision the FasTrak control plane makes — promoting a flow to
+    the express lane, evicting its rules from the TCAM, re-splitting a
+    rate limit — is announced as a typed {!event} stamped with the sim
+    clock. Events are serialised as one JSON object per line (JSONL), so
+    a run's trace can be replayed, diffed, or fed to external tooling.
+
+    Tracing is off by default and the disabled path is a no-op: emission
+    sites guard with {!enabled} before constructing an event, so an
+    untraced run performs no allocation, no formatting and no I/O, and
+    its outputs are byte-identical to a build without this module.
+
+    See [docs/METRICS.md] for the reference of every event and the
+    module that emits it, and [ARCHITECTURE.md] for where each event
+    sits in a packet's life. *)
+
+type direction = Tx | Rx
+
+type path = Software | Express
+(** [Software] is the vswitch (VIF) path, [Express] the SR-IOV (VF)
+    hardware path. *)
+
+type event =
+  | Flow_promoted of {
+      pattern : Netcore.Fkey.Pattern.t;
+      tenant : Netcore.Tenant.id;
+      vm_ip : Netcore.Ipv4.t;
+      server : string;
+      score : float;  (** S = n x m_pps x c at the moment of promotion. *)
+      tcam_entries : int;  (** TCAM entries the compiled rules consume. *)
+    }
+      (** The TOR controller offloaded an aggregate's rules to hardware. *)
+  | Flow_demoted of {
+      pattern : Netcore.Fkey.Pattern.t;
+      tenant : Netcore.Tenant.id;
+      vm_ip : Netcore.Ipv4.t;
+      server : string;
+      reason : string;  (** ["deselected"] or ["vm_migration"]. *)
+    }
+      (** The TOR controller returned an aggregate to the software path. *)
+  | Tcam_install of {
+      tenant : Netcore.Tenant.id;
+      entries : int;
+      used : int;  (** TCAM occupancy after the install. *)
+      capacity : int;
+    }  (** A compiled rule set was written into a tenant VRF. *)
+  | Tcam_evict of {
+      tenant : Netcore.Tenant.id;
+      entries : int;
+      used : int;  (** TCAM occupancy after the eviction. *)
+      capacity : int;
+    }  (** A VRF rule set was removed and its entries returned. *)
+  | Fps_split of {
+      vm_ip : Netcore.Ipv4.t;
+      direction : direction;
+      soft_bps : float;  (** New VIF limit (Ls + O). *)
+      hard_bps : float;  (** New VF limit (Lh + O). *)
+    }  (** The local controller re-adjusted a VM's FPS rate split. *)
+  | Path_transition of {
+      vm_ip : Netcore.Ipv4.t;
+      pattern : Netcore.Fkey.Pattern.t;
+      path : path;
+    }
+      (** A local flow placer was reprogrammed: subsequent packets of
+          the aggregate take [path]. *)
+  | Rule_pushed of {
+      server : string;
+      pattern : Netcore.Fkey.Pattern.t;
+      push : [ `Offload | `Demote ];
+    }
+      (** A directive left the TOR controller on the OpenFlow-ish
+          channel toward [server]'s local controller. *)
+  | Epoch_tick of {
+      me : string;  (** Measurement-engine name, e.g. ["server0.me"]. *)
+      epoch : int;
+      interval : int;  (** Control intervals completed so far. *)
+    }  (** A measurement engine finished one polling epoch. *)
+
+(** {1 Sinks} *)
+
+val enabled : unit -> bool
+(** True when a sink is installed. Emission sites check this before
+    building an event so that disabled tracing costs one load and one
+    branch. *)
+
+val emit : ?now:Dcsim.Simtime.t -> event -> unit
+(** Hand an event to the current sink; a no-op when tracing is off.
+    [now] defaults to the registered {!set_clock} clock — pass it
+    explicitly wherever an engine is in scope. *)
+
+val use_jsonl : out_channel -> unit
+(** Route events to [oc], one JSON object per line. The caller keeps
+    ownership of the channel; call {!disable} before closing it. *)
+
+val use_callback : (Dcsim.Simtime.t -> event -> unit) -> unit
+(** Route events to an in-process consumer (used by tests). *)
+
+val disable : unit -> unit
+(** Drop the sink (flushing a JSONL channel first); {!enabled} becomes
+    false. *)
+
+val set_clock : (unit -> Dcsim.Simtime.t) -> unit
+(** Register the running engine's clock for emission sites that have no
+    engine handle of their own (the TCAM and VRF live below the
+    engine). [Experiments.Testbed.create] registers each new testbed's
+    engine automatically. *)
+
+(** {1 Codec} *)
+
+val to_jsonl : Dcsim.Simtime.t -> event -> string
+(** One-line JSON encoding, without the trailing newline. The sim time
+    is carried as an exact nanosecond integer under ["t_ns"] plus a
+    human-friendly ["t"] in seconds; the event constructor is under
+    ["ev"]. *)
+
+val of_jsonl : string -> (Dcsim.Simtime.t * event) option
+(** Inverse of {!to_jsonl}; [None] on malformed input. Round-trips
+    exactly, including float payloads. *)
+
+val pattern_to_string : Netcore.Fkey.Pattern.t -> string
+(** Compact codec for flow patterns:
+    [src_ip/dst_ip/src_port/dst_port/proto/tenant] with ["*"] for
+    wildcards, e.g. ["10.7.0.1/*/11211/*/*/7"]. *)
+
+val pattern_of_string : string -> Netcore.Fkey.Pattern.t option

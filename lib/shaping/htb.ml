@@ -7,6 +7,9 @@ type leaf = {
 
 type t = { root : Token_bucket.t; mutable leaves : leaf list }
 
+let m_admitted = Obs.Metrics.counter "shaping.htb.admitted"
+let m_refusals = Obs.Metrics.counter "shaping.htb.refusals"
+
 let create ~link ~now = { root = Token_bucket.create link ~now; leaves = [] }
 
 let add_leaf t ~rate ?ceil ~now () =
@@ -34,9 +37,14 @@ let admit t leaf ~now ~bytes_len =
      Within the guaranteed rate the leaf does not need root spare beyond
      physical capacity; above it, it borrows, which is the same check in
      this two-level model since root tokens are physical capacity. *)
-  if Token_bucket.available leaf.ceil_bucket ~now < float_of_int bytes_len then
+  if Token_bucket.available leaf.ceil_bucket ~now < float_of_int bytes_len then begin
+    Obs.Metrics.incr m_refusals;
     false
-  else if Token_bucket.available t.root ~now < float_of_int bytes_len then false
+  end
+  else if Token_bucket.available t.root ~now < float_of_int bytes_len then begin
+    Obs.Metrics.incr m_refusals;
+    false
+  end
   else begin
     ignore (Token_bucket.try_consume leaf.ceil_bucket ~now ~bytes_len);
     ignore (Token_bucket.try_consume t.root ~now ~bytes_len);
@@ -44,6 +52,7 @@ let admit t leaf ~now ~bytes_len =
        by borrowers: consume_forced lets the bucket go negative, recording
        that the leaf is living off borrowed tokens. *)
     Token_bucket.consume_forced leaf.rate_bucket ~now ~bytes_len;
+    Obs.Metrics.incr m_admitted;
     true
   end
 

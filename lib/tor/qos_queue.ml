@@ -11,6 +11,10 @@ type t = {
   mutable sent : int;
 }
 
+let m_enqueued = Obs.Metrics.counter "tor.qos.enqueued"
+let m_sent = Obs.Metrics.counter "tor.qos.sent"
+let m_depth = Obs.Metrics.summary "tor.qos.depth"
+
 let create ~engine ~classes ~link ~gbps =
   if classes <= 0 then invalid_arg "Qos_queue.create: classes must be positive";
   {
@@ -42,12 +46,18 @@ let rec pump t =
         Simtime.span_of_bytes_at_rate ~bytes_len ~gbps:t.gbps
       in
       t.sent <- t.sent + 1;
+      Obs.Metrics.incr m_sent;
       Fabric.Link.transmit t.link pkt;
       ignore (Engine.after t.engine serialization (fun () -> pump t))
+
+let total_queued t =
+  Array.fold_left (fun acc q -> acc + Queue.length q) 0 t.queues
 
 let enqueue t ~queue pkt =
   let queue = Stdlib.max 0 (Stdlib.min queue (Array.length t.queues - 1)) in
   Queue.push pkt t.queues.(queue);
+  Obs.Metrics.incr m_enqueued;
+  Obs.Metrics.observe m_depth (float_of_int (total_queued t));
   if not t.busy then begin
     t.busy <- true;
     pump t
@@ -56,8 +66,5 @@ let enqueue t ~queue pkt =
 let queue_length t ~queue =
   if queue < 0 || queue >= Array.length t.queues then 0
   else Queue.length t.queues.(queue)
-
-let total_queued t =
-  Array.fold_left (fun acc q -> acc + Queue.length q) 0 t.queues
 
 let packets_sent t = t.sent

@@ -10,12 +10,20 @@ type t
 
 val create :
   engine:Dcsim.Engine.t -> classes:int -> link:Fabric.Link.t -> gbps:float -> t
+(** [classes] priority queues multiplexed onto [link], paced at [gbps].
+    @raise Invalid_argument when [classes <= 0]. *)
 
 val classes : t -> int
+(** The number of priority classes. *)
 
 val enqueue : t -> queue:int -> Netcore.Packet.t -> unit
 (** [queue] is clamped to [0, classes). Higher index = higher priority. *)
 
 val queue_length : t -> queue:int -> int
+(** Packets waiting in class [queue] (0 for an out-of-range class). *)
+
 val total_queued : t -> int
+(** Packets waiting across all classes. *)
+
 val packets_sent : t -> int
+(** Packets handed to the link since creation. *)

@@ -1,5 +1,9 @@
 type t = { capacity : int; mutable used : int }
 
+let m_reservations = Obs.Metrics.counter "tor.tcam.reservations"
+let m_rejections = Obs.Metrics.counter "tor.tcam.rejections"
+let m_used = Obs.Metrics.gauge "tor.tcam.used"
+
 let create ~capacity =
   if capacity < 0 then invalid_arg "Tcam.create: negative capacity";
   { capacity; used = 0 }
@@ -10,12 +14,18 @@ let available t = t.capacity - t.used
 
 let reserve t n =
   if n < 0 then invalid_arg "Tcam.reserve: negative count";
-  if t.used + n > t.capacity then false
+  if t.used + n > t.capacity then begin
+    Obs.Metrics.incr m_rejections;
+    false
+  end
   else begin
     t.used <- t.used + n;
+    Obs.Metrics.incr m_reservations;
+    Obs.Metrics.set_gauge m_used (float_of_int t.used);
     true
   end
 
 let release t n =
   if n < 0 || n > t.used then invalid_arg "Tcam.release: bad count";
-  t.used <- t.used - n
+  t.used <- t.used - n;
+  Obs.Metrics.set_gauge m_used (float_of_int t.used)

@@ -8,9 +8,17 @@
 type t
 
 val create : capacity:int -> t
+(** A fresh budget of [capacity] entries, all free.
+    @raise Invalid_argument on a negative capacity. *)
+
 val capacity : t -> int
+(** The fixed total entry budget. *)
+
 val used : t -> int
+(** Entries currently reserved. *)
+
 val available : t -> int
+(** [capacity t - used t]. *)
 
 val reserve : t -> int -> bool
 (** Atomically take [n] entries; false (and no change) if they do not

@@ -6,6 +6,10 @@ module Cost = Compute.Cost_params
 
 type server_port = { vswitch_q : Qos_queue.t; sriov_q : Qos_queue.t }
 
+let m_forwarded = Obs.Metrics.counter "tor.forwarded"
+let m_acl_drops = Obs.Metrics.counter "tor.acl_drops"
+let m_no_route_drops = Obs.Metrics.counter "tor.no_route_drops"
+
 type t = {
   engine : Engine.t;
   tor_ip : Netcore.Ipv4.t;
@@ -78,19 +82,29 @@ let register_vm t ~tenant ~vm_ip ~server_ip ?(port = `Vswitch) () =
 
 let add_peer t peer_ip forward = Hashtbl.replace t.peers (ip_key peer_ip) forward
 
-let drop_no_route t = t.no_route_drops <- t.no_route_drops + 1
+let drop_no_route t =
+  t.no_route_drops <- t.no_route_drops + 1;
+  Obs.Metrics.incr m_no_route_drops
+
+let note_forwarded t =
+  t.forwarded <- t.forwarded + 1;
+  Obs.Metrics.incr m_forwarded
+
+let drop_acl t =
+  t.acl_drops <- t.acl_drops + 1;
+  Obs.Metrics.incr m_acl_drops
 
 let to_server_vswitch t ~server_key ~queue pkt =
   match Hashtbl.find_opt t.servers server_key with
   | Some port ->
-      t.forwarded <- t.forwarded + 1;
+      note_forwarded t;
       Qos_queue.enqueue port.vswitch_q ~queue pkt
   | None -> drop_no_route t
 
 let to_server_sriov t ~server_key ~queue pkt =
   match Hashtbl.find_opt t.servers server_key with
   | Some port ->
-      t.forwarded <- t.forwarded + 1;
+      note_forwarded t;
       Qos_queue.enqueue port.sriov_q ~queue pkt
   | None -> drop_no_route t
 
@@ -102,9 +116,7 @@ let wire_frames payload =
 let handle_gre_rx t pkt ~key:tenant =
   let vrf_table = vrf t tenant in
   let flow = pkt.Packet.flow in
-  if not (Vrf.permits vrf_table flow) then begin
-    t.acl_drops <- t.acl_drops + 1
-  end
+  if not (Vrf.permits vrf_table flow) then drop_acl t
   else begin
     let queue = Vrf.queue_for vrf_table flow in
     match
@@ -126,11 +138,10 @@ let handle_vlan_tx t pkt ~vlan =
   | Some tenant ->
       let vrf_table = vrf t tenant in
       let flow = pkt.Packet.flow in
-      if not (Vrf.permits vrf_table flow) then begin
+      if not (Vrf.permits vrf_table flow) then
         (* Default deny: disallowed traffic injected via SR-IOV dies
            here (§4.1.3). *)
-        t.acl_drops <- t.acl_drops + 1
-      end
+        drop_acl t
       else begin
         Vswitch.Flow_stats.record t.offloaded_stats flow
           ~packets:(wire_frames pkt.Packet.payload)
@@ -150,7 +161,7 @@ let handle_vlan_tx t pkt ~vlan =
                    else begin
                      match Hashtbl.find_opt t.peers (ip_key ep.tor_ip) with
                      | Some forward ->
-                         t.forwarded <- t.forwarded + 1;
+                         note_forwarded t;
                          forward pkt
                      | None -> drop_no_route t
                    end))
@@ -169,7 +180,7 @@ let receive t pkt =
       else begin
         match Hashtbl.find_opt t.peers (ip_key tunnel_dst) with
         | Some forward ->
-            t.forwarded <- t.forwarded + 1;
+            note_forwarded t;
             forward pkt
         | None -> drop_no_route t
       end

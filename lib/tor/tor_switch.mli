@@ -17,9 +17,14 @@ type t
 
 val create :
   engine:Dcsim.Engine.t -> ip:Netcore.Ipv4.t -> tcam_capacity:int -> t
+(** A ToR at loopback address [ip] with an empty TCAM of
+    [tcam_capacity] entries and no servers attached. *)
 
 val ip : t -> Netcore.Ipv4.t
+(** The switch's loopback address (the GRE tunnel endpoint). *)
+
 val tcam : t -> Tcam.t
+(** The shared TCAM budget all tenant VRFs draw from. *)
 
 val vrf : t -> Netcore.Tenant.id -> Vrf.t
 (** The tenant's VRF, created on first use (allocates the tenant VLAN
@@ -56,11 +61,20 @@ val add_peer : t -> Netcore.Ipv4.t -> (Netcore.Packet.t -> unit) -> unit
 (** Uplink to a peer ToR, keyed by its loopback address. *)
 
 val receive : t -> Netcore.Packet.t -> unit
+(** Ingest one packet from any port and route it by its outer encap:
+    VLAN = hardware-path transmit, GRE = hardware-path receive or peer
+    forward, VXLAN/plain = software path. *)
 
 val offloaded_flows : t -> (Netcore.Fkey.t * int * int) list
 (** Cumulative (packets, bytes) per flow on the hardware path — what
     the TOR ME polls (§4.3.1). *)
 
 val acl_drops : t -> int
+(** Packets killed by a VRF's default deny (§4.1.3). *)
+
 val no_route_drops : t -> int
+(** Packets with no usable destination: unknown VLAN, unregistered VM,
+    missing tunnel mapping, or unattached server/peer. *)
+
 val packets_forwarded : t -> int
+(** Packets successfully handed to a server port or peer ToR. *)

@@ -17,6 +17,10 @@ type t = {
 
 type handle = int
 
+let m_installs = Obs.Metrics.counter "tor.vrf.installs"
+let m_removes = Obs.Metrics.counter "tor.vrf.removes"
+let m_install_entries = Obs.Metrics.summary "tor.vrf.install_entries"
+
 let create ~tenant ~tcam =
   {
     tenant;
@@ -45,6 +49,17 @@ let install t compiled =
         let refs = Option.value (Hashtbl.find_opt t.tunnel_refcounts k) ~default:0 in
         Hashtbl.replace t.tunnel_refcounts k (refs + 1))
       compiled.tunnels;
+    Obs.Metrics.incr m_installs;
+    Obs.Metrics.observe m_install_entries (float_of_int entries_needed);
+    if Obs.Trace.enabled () then
+      Obs.Trace.emit
+        (Obs.Trace.Tcam_install
+           {
+             tenant = t.tenant;
+             entries = entries_needed;
+             used = Tcam.used t.tcam;
+             capacity = Tcam.capacity t.tcam;
+           });
     Ok id
   end
 
@@ -55,6 +70,16 @@ let remove t handle =
       entry.live <- false;
       t.entries <- List.filter (fun e -> e.id <> handle) t.entries;
       Tcam.release t.tcam entry.compiled.Rules.Rule_compiler.tcam_entries;
+      Obs.Metrics.incr m_removes;
+      if Obs.Trace.enabled () then
+        Obs.Trace.emit
+          (Obs.Trace.Tcam_evict
+             {
+               tenant = t.tenant;
+               entries = entry.compiled.Rules.Rule_compiler.tcam_entries;
+               used = Tcam.used t.tcam;
+               capacity = Tcam.capacity t.tcam;
+             });
       List.iter
         (fun (tr : Rules.Tunnel_rule.t) ->
           let k = ip_key tr.vm_ip in

@@ -8,9 +8,13 @@
 type t
 
 val create : tenant:Netcore.Tenant.id -> tcam:Tcam.t -> t
+(** An empty VRF for [tenant] drawing entries from the shared [tcam]. *)
+
 val tenant : t -> Netcore.Tenant.id
+(** The owning tenant. *)
 
 type handle
+(** Names one installed rule set for later {!remove}. *)
 
 val install :
   t -> Rules.Rule_compiler.compiled -> (handle, [ `Tcam_full ]) result
@@ -21,6 +25,7 @@ val remove : t -> handle -> unit
 (** Idempotent. *)
 
 val installed_count : t -> int
+(** Live rule sets (installs minus removes). *)
 
 val permits : t -> Netcore.Fkey.t -> bool
 (** ACL check: true iff some installed allow-pattern covers the flow.
@@ -33,3 +38,5 @@ val queue_for : t -> Netcore.Fkey.t -> int
 
 val tunnel_for :
   t -> dst_ip:Netcore.Ipv4.t -> Rules.Tunnel_rule.endpoint option
+(** GRE endpoint for the destination VM, if an installed rule set
+    carries a tunnel mapping for it. *)

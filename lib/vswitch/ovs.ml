@@ -12,6 +12,13 @@ let upcall_fixed_cost = Simtime.span_us 30.0
 let upcall_per_rule_cost_us = 0.02
 let upcall_extra_latency = Simtime.span_us 100.0
 
+let m_tx = Obs.Metrics.counter "vswitch.tx_packets"
+let m_rx = Obs.Metrics.counter "vswitch.rx_packets"
+let m_drops = Obs.Metrics.counter "vswitch.drops"
+let m_security_drops = Obs.Metrics.counter "vswitch.security_drops"
+let m_upcalls = Obs.Metrics.counter "vswitch.upcalls"
+let m_kernel_hits = Obs.Metrics.counter "vswitch.kernel_hits"
+
 type vif = {
   policy : Rules.Policy.t;
   deliver : Packet.t -> unit;
@@ -68,7 +75,8 @@ let is_blocked t flow = Fkey.Table.mem t.blocked flow
 
 let drop t pkt =
   ignore pkt;
-  t.packets_dropped <- t.packets_dropped + 1
+  t.packets_dropped <- t.packets_dropped + 1;
+  Obs.Metrics.incr m_drops
 
 let add_vif t ~policy ~deliver =
   let engine = t.engine in
@@ -78,6 +86,7 @@ let add_vif t ~policy ~deliver =
     if is_blocked t pkt.Packet.flow then drop t pkt
     else begin
       t.packets_sent <- t.packets_sent + 1;
+      Obs.Metrics.incr m_tx;
       t.transmit pkt
     end
   in
@@ -138,9 +147,11 @@ let classify t vif flow k =
   match Fkey.Table.find_opt vif.verdict_cache flow with
   | Some verdict ->
       t.kernel_hits <- t.kernel_hits + 1;
+      Obs.Metrics.incr m_kernel_hits;
       k verdict
   | None ->
       t.upcalls <- t.upcalls + 1;
+      Obs.Metrics.incr m_upcalls;
       let scan_cost =
         if t.config.Cost.security_rules then
           Simtime.span_us
@@ -193,6 +204,7 @@ let transmit_from_vif t vif pkt =
               match verdict.Rules.Policy.action with
               | Rules.Security_rule.Deny ->
                   t.security_drops <- t.security_drops + 1;
+                  Obs.Metrics.incr m_security_drops;
                   drop t pkt
               | Rules.Security_rule.Allow ->
                   Flow_stats.record t.stats flow
@@ -239,12 +251,14 @@ let receive_from_nic t pkt =
                       match verdict.Rules.Policy.action with
                       | Rules.Security_rule.Deny ->
                           t.security_drops <- t.security_drops + 1;
+                          Obs.Metrics.incr m_security_drops;
                           drop t inner_pkt
                       | Rules.Security_rule.Allow ->
                           Flow_stats.record t.stats flow
                             ~packets:(wire_frames inner_pkt.Packet.payload)
                             ~bytes:inner_pkt.Packet.payload;
                           t.packets_received <- t.packets_received + 1;
+                          Obs.Metrics.incr m_rx;
                           Shaping.Shaper.enqueue vif.rx_shaper inner_pkt)))
   in
   if t.config.Cost.tunneling then begin

@@ -10,5 +10,6 @@ let () =
       ("tcp", Test_tcp.suite);
       ("dataplane", Test_dataplane.suite);
       ("fastrak", Test_fastrak.suite);
+      ("obs", Test_obs.suite);
       ("workloads", Test_workloads.suite);
     ]

@@ -1,0 +1,318 @@
+(* Tests for the observability layer: JSONL codec round-trips, trace
+   emission during a live control-plane run, metrics registry
+   consistency with the engines' own counters, and the no-op sink's
+   non-interference with simulation results. *)
+
+module Simtime = Dcsim.Simtime
+module Engine = Dcsim.Engine
+module Fkey = Netcore.Fkey
+module Ipv4 = Netcore.Ipv4
+module Trace = Obs.Trace
+module Metrics = Obs.Metrics
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checks = Alcotest.check Alcotest.string
+let tenant = Netcore.Tenant.of_int 7
+
+(* --- JSONL codec --- *)
+
+let sample_pattern =
+  {
+    Fkey.Pattern.any with
+    Fkey.Pattern.src_ip = Some (Ipv4.of_string "10.7.0.1");
+    src_port = Some 11211;
+    tenant = Some tenant;
+  }
+
+let full_pattern =
+  {
+    Fkey.Pattern.src_ip = Some (Ipv4.of_string "10.7.0.1");
+    dst_ip = Some (Ipv4.of_string "10.7.0.2");
+    src_port = Some 50_000;
+    dst_port = Some 9000;
+    proto = Some Fkey.Tcp;
+    tenant = Some tenant;
+  }
+
+let vm1 = Ipv4.of_string "10.7.0.1"
+let vm2 = Ipv4.of_string "10.7.0.2"
+
+let sample_events =
+  [
+    Trace.Flow_promoted
+      {
+        pattern = sample_pattern;
+        tenant;
+        vm_ip = vm1;
+        server = "server0";
+        score = 12345.75;
+        tcam_entries = 3;
+      };
+    Trace.Flow_demoted
+      {
+        pattern = full_pattern;
+        tenant;
+        vm_ip = vm1;
+        server = "server0";
+        reason = "deselected";
+      };
+    Trace.Tcam_install { tenant; entries = 4; used = 12; capacity = 2048 };
+    Trace.Tcam_evict { tenant; entries = 4; used = 8; capacity = 2048 };
+    Trace.Fps_split
+      { vm_ip = vm2; direction = Trace.Tx; soft_bps = 7.5e8; hard_bps = 2.5e8 };
+    Trace.Fps_split
+      {
+        vm_ip = vm2;
+        direction = Trace.Rx;
+        soft_bps = 0.1 +. 0.2;  (* not exactly representable: exercises %.17g *)
+        hard_bps = 1e9;
+      };
+    Trace.Path_transition
+      { vm_ip = vm1; pattern = sample_pattern; path = Trace.Express };
+    Trace.Path_transition
+      { vm_ip = vm1; pattern = Fkey.Pattern.any; path = Trace.Software };
+    Trace.Rule_pushed
+      { server = "server1"; pattern = sample_pattern; push = `Offload };
+    Trace.Rule_pushed
+      { server = "server1"; pattern = full_pattern; push = `Demote };
+    Trace.Epoch_tick { me = "server0.me"; epoch = 17; interval = 2 };
+  ]
+
+let test_jsonl_round_trip () =
+  List.iteri
+    (fun i event ->
+      let now = Simtime.of_ns ((i + 1) * 123_456_789) in
+      let line = Trace.to_jsonl now event in
+      match Trace.of_jsonl line with
+      | None -> Alcotest.failf "event %d failed to parse: %s" i line
+      | Some (now', event') ->
+          checki "timestamp round-trips" (Simtime.to_ns now) (Simtime.to_ns now');
+          (* Structural equality via re-encoding: identical events encode
+             identically, and the encoding covers every payload field. *)
+          checks "event round-trips" line (Trace.to_jsonl now' event'))
+    sample_events
+
+let test_jsonl_rejects_garbage () =
+  checkb "empty" true (Trace.of_jsonl "" = None);
+  checkb "not json" true (Trace.of_jsonl "hello" = None);
+  checkb "unknown event" true
+    (Trace.of_jsonl {|{"t_ns":1,"t":0.0,"ev":"martian"}|} = None);
+  checkb "missing fields" true
+    (Trace.of_jsonl {|{"t_ns":1,"t":0.0,"ev":"epoch_tick","me":"x"}|} = None)
+
+let test_pattern_codec () =
+  List.iter
+    (fun p ->
+      match Trace.pattern_of_string (Trace.pattern_to_string p) with
+      | None -> Alcotest.failf "unparseable: %s" (Trace.pattern_to_string p)
+      | Some p' -> checkb "pattern round-trips" true (Fkey.Pattern.equal p p'))
+    [ Fkey.Pattern.any; sample_pattern; full_pattern;
+      { full_pattern with Fkey.Pattern.proto = Some (Fkey.Other 47) } ];
+  checks "wildcard form" "*/*/*/*/*/*" (Trace.pattern_to_string Fkey.Pattern.any);
+  checkb "garbage rejected" true (Trace.pattern_of_string "1/2/3" = None)
+
+(* --- live run: events and metrics --- *)
+
+(* Mirror of test_fastrak's hot testbed: one hot transactional client on
+   server0 talking to a sink on server1, with a fast control loop. *)
+let fast_config =
+  {
+    Fastrak.Config.default with
+    Fastrak.Config.epoch_period = Simtime.span_ms 100.0;
+    poll_gap = Simtime.span_ms 40.0;
+    min_score = 100.0;
+  }
+
+let hot_testbed () =
+  let tb = Experiments.Testbed.create ~server_count:2 () in
+  let a =
+    Experiments.Testbed.add_vm tb
+      (Experiments.Testbed.vm_spec ~server:0 ~name:"hot" ~ip_last_octet:1 ())
+  in
+  let b =
+    Experiments.Testbed.add_vm tb
+      (Experiments.Testbed.vm_spec ~server:1 ~name:"sink" ~ip_last_octet:2 ())
+  in
+  Experiments.Testbed.connect_tunnels tb;
+  let rm =
+    Fastrak.Rule_manager.create ~engine:tb.Experiments.Testbed.engine
+      ~config:fast_config ~tor:tb.Experiments.Testbed.tor
+      ~servers:(Array.to_list tb.Experiments.Testbed.servers)
+      ()
+  in
+  Workloads.Transactions.Server.install ~vm:b.Host.Server.vm ~port:9000
+    ~response_size:64 ();
+  let client =
+    Workloads.Transactions.Client.start ~engine:tb.Experiments.Testbed.engine
+      ~vm:a.Host.Server.vm
+      {
+        Workloads.Transactions.Client.servers =
+          [ (Host.Vm.ip b.Host.Server.vm, 9000) ];
+        connections = 1;
+        outstanding = 8;
+        request_size = 64;
+        total_requests = None;
+        src_port_base = 50_000;
+      }
+  in
+  (tb, rm, client)
+
+let count_ev f events = List.length (List.filter (fun (_, e) -> f e) events)
+
+let test_trace_and_metrics_of_live_run () =
+  let events = ref [] in
+  Trace.use_callback (fun now ev -> events := (now, ev) :: !events);
+  let before = Metrics.snapshot () in
+  let tb, rm, client = hot_testbed () in
+  Fastrak.Rule_manager.start rm;
+  Experiments.Testbed.run_for tb ~seconds:1.5;
+  let ordered () = List.rev !events in
+  checkb "promotion traced" true
+    (count_ev (function Trace.Flow_promoted _ -> true | _ -> false) (ordered ())
+    > 0);
+  checkb "tcam install traced" true
+    (count_ev (function Trace.Tcam_install _ -> true | _ -> false) (ordered ())
+    > 0);
+  (* The VRF install is live before the promotion is announced
+     (make-before-break), so the first install precedes the first
+     promotion in emission order, and both carry the same tenant. *)
+  let first p =
+    let rec go = function
+      | [] -> None
+      | (now, e) :: rest -> if p e then Some (now, e) else go rest
+    in
+    go (ordered ())
+  in
+  (match
+     ( first (function Trace.Tcam_install _ -> true | _ -> false),
+       first (function Trace.Flow_promoted _ -> true | _ -> false) )
+   with
+  | ( Some (t_inst, Trace.Tcam_install { tenant = ti; _ }),
+      Some (t_prom, Trace.Flow_promoted { tenant = tp; _ }) ) ->
+      checkb "install not after promotion" true
+        (Simtime.to_ns t_inst <= Simtime.to_ns t_prom);
+      checki "same tenant" (Netcore.Tenant.to_int ti) (Netcore.Tenant.to_int tp)
+  | _ -> Alcotest.fail "missing install or promotion");
+  (* Stop the workload; history ages out and the DE demotes. *)
+  Workloads.Transactions.Client.stop client;
+  Experiments.Testbed.run_for tb ~seconds:3.0;
+  Trace.disable ();
+  let events = ordered () in
+  checkb "demotion traced" true
+    (List.exists
+       (function
+         | _, Trace.Flow_demoted { reason; _ } -> reason = "deselected"
+         | _ -> false)
+       events);
+  checkb "tcam evict traced" true
+    (count_ev (function Trace.Tcam_evict _ -> true | _ -> false) events > 0);
+  checkb "epoch ticks traced" true
+    (count_ev (function Trace.Epoch_tick _ -> true | _ -> false) events > 0);
+  (* Sim timestamps never go backwards along the emission order. *)
+  let monotone, _ =
+    List.fold_left
+      (fun (ok, prev) (now, _) -> (ok && Simtime.to_ns now >= prev, Simtime.to_ns now))
+      (true, 0) events
+  in
+  checkb "timestamps monotone" true monotone;
+  (* Registry deltas agree with what the engines counted themselves. *)
+  let after = Metrics.snapshot () in
+  let delta = Metrics.diff ~before ~after in
+  let counter_delta name =
+    match List.assoc_opt name delta with
+    | Some (Metrics.Counter_v n) -> n
+    | _ -> 0
+  in
+  let ovs_upcalls =
+    Array.fold_left
+      (fun acc s -> acc + Vswitch.Ovs.upcalls (Host.Server.ovs s))
+      0 tb.Experiments.Testbed.servers
+  in
+  checki "upcall counter matches engines" ovs_upcalls
+    (counter_delta "vswitch.upcalls");
+  let promotions = counter_delta "fastrak.promotions" in
+  let demotions = counter_delta "fastrak.demotions" in
+  checkb "promotions happened" true (promotions > 0);
+  checki "promotions - demotions = live offloads"
+    (Fastrak.Rule_manager.offloaded_count rm)
+    (promotions - demotions);
+  checki "trace promotions = promotion counter" promotions
+    (count_ev (function Trace.Flow_promoted _ -> true | _ -> false) events)
+
+(* --- no-op sink leaves results unchanged --- *)
+
+let run_scenario () =
+  let tb, rm, client = hot_testbed () in
+  Fastrak.Rule_manager.start rm;
+  Experiments.Testbed.run_for tb ~seconds:1.5;
+  ( Workloads.Transactions.Client.completed client,
+    Fastrak.Rule_manager.offloaded_count rm,
+    Engine.events_processed tb.Experiments.Testbed.engine )
+
+let test_noop_sink_identical_results () =
+  Trace.disable ();
+  let completed_off, offloaded_off, events_off = run_scenario () in
+  let traced = ref 0 in
+  Trace.use_callback (fun _ _ -> incr traced);
+  let completed_on, offloaded_on, events_on = run_scenario () in
+  Trace.disable ();
+  checkb "tracing saw events" true (!traced > 0);
+  checki "same completed requests" completed_off completed_on;
+  checki "same offload count" offloaded_off offloaded_on;
+  checki "same event count" events_off events_on
+
+(* --- metrics registry --- *)
+
+let test_registry_kinds_and_diff () =
+  let registry = Metrics.create () in
+  let c = Metrics.counter ~registry "x.count" in
+  Metrics.incr c;
+  Metrics.add c 4;
+  let g = Metrics.gauge ~registry "x.gauge" in
+  Metrics.set_gauge g 2.5;
+  let s = Metrics.summary ~registry "x.summary" in
+  Metrics.observe s 1.0;
+  Metrics.observe s 3.0;
+  (* Same name and kind: the same instrument comes back. *)
+  Metrics.incr (Metrics.counter ~registry "x.count");
+  checki "counter accumulated" 6 (Metrics.counter_value c);
+  (* Same name, different kind: refused. *)
+  checkb "kind clash raises" true
+    (match Metrics.gauge ~registry "x.count" with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  let before = Metrics.snapshot ~registry () in
+  Metrics.add c 10;
+  Metrics.observe s 5.0;
+  let after = Metrics.snapshot ~registry () in
+  let delta = Metrics.diff ~before ~after in
+  checkb "unchanged gauge dropped" true (List.assoc_opt "x.gauge" delta = None);
+  (match List.assoc_opt "x.count" delta with
+  | Some (Metrics.Counter_v 10) -> ()
+  | _ -> Alcotest.fail "counter delta wrong");
+  (match List.assoc_opt "x.summary" delta with
+  | Some (Metrics.Summary_v { count = 1; sum; _ }) ->
+      checkb "summary delta sum" true (Float.abs (sum -. 5.0) < 1e-9)
+  | _ -> Alcotest.fail "summary delta wrong");
+  (* Dumps include every instrument. *)
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    nn = 0 || go 0
+  in
+  let json = Metrics.to_json (Metrics.snapshot ~registry ()) in
+  checkb "json has counter" true (contains json "\"x.count\": 16");
+  let csv = Metrics.to_csv (Metrics.snapshot ~registry ()) in
+  checkb "csv has gauge row" true (contains csv "x.gauge,gauge,1,2.5")
+
+let suite =
+  let t name f = Alcotest.test_case name `Quick f in
+  [
+    t "jsonl round trip" test_jsonl_round_trip;
+    t "jsonl rejects garbage" test_jsonl_rejects_garbage;
+    t "pattern codec" test_pattern_codec;
+    t "live run traces and metrics" test_trace_and_metrics_of_live_run;
+    t "no-op sink identical results" test_noop_sink_identical_results;
+    t "registry kinds and diff" test_registry_kinds_and_diff;
+  ]
