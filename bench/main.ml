@@ -1,11 +1,19 @@
 (* The benchmark harness: regenerates every table and figure of the
-   paper's evaluation (printed paper-vs-measured), then runs Bechamel
-   micro-benchmarks of the core primitives behind each artifact.
+   paper's evaluation (printed paper-vs-measured), runs Bechamel
+   micro-benchmarks of the core primitives behind each artifact, and
+   hosts the scalability scenarios that emit BENCH_*.json.
 
    Usage: dune exec bench/main.exe [-- quick | fig3 | fig4 | fig5 |
    table1 | table2 | table3 | table4 | fig12 | ablation | bechamel]
-   With no argument everything runs (the default CI path). "quick"
-   skips the slowest reproductions. *)
+   With no argument every paper artifact runs (the default CI path).
+   "quick" skips the slowest reproductions.
+
+   Scalability mode: dune exec bench/main.exe -- bench
+   [decision|measurement|eventqueue]* [--smoke] [--out-dir DIR]
+   runs the named scenario groups (all three when none are named) and
+   writes one BENCH_<group>.json each; --smoke shrinks sizes so the
+   @bench-smoke alias stays cheap enough for every `dune runtest`.
+   Scenario list and JSON schema: docs/BENCH.md. *)
 
 open Experiments
 
@@ -204,8 +212,61 @@ let run_bechamel () =
       | _ -> Printf.printf "  %-40s (no estimate)\n" name)
     results
 
+(* --- BENCH_*.json scalability scenarios (docs/BENCH.md) --- *)
+
+let print_bench_results results =
+  List.iter
+    (fun (r : Bench_scenarios.result) ->
+      Printf.printf "  %-28s %12.1f ns/%s %14.1f ops/s %10.1f words/op%s\n"
+        r.Bench_scenarios.scenario r.Bench_scenarios.ns_per_op
+        r.Bench_scenarios.unit_ r.Bench_scenarios.ops_per_sec
+        r.Bench_scenarios.minor_words_per_op
+        (match r.Bench_scenarios.baseline_ns_per_op with
+        | Some bl -> Printf.sprintf "  (%.1fx vs list baseline)" (bl /. r.Bench_scenarios.ns_per_op)
+        | None -> ""))
+    results
+
+let run_bench_mode args =
+  let rec parse (smoke, out_dir, groups) = function
+    | [] -> (smoke, out_dir, List.rev groups)
+    | "--smoke" :: rest -> parse (true, out_dir, groups) rest
+    | "--out-dir" :: d :: rest -> parse (smoke, d, groups) rest
+    | g :: rest -> parse (smoke, out_dir, g :: groups) rest
+  in
+  let smoke, out_dir, groups = parse (false, ".", []) args in
+  let groups =
+    match groups with
+    | [] -> [ "decision"; "measurement"; "eventqueue" ]
+    | l -> l
+  in
+  line ();
+  Printf.printf "scalability scenarios (%s) -> %s/BENCH_*.json\n"
+    (if smoke then "smoke sizes" else "full sizes")
+    out_dir;
+  List.iter
+    (fun group ->
+      let results =
+        match group with
+        | "decision" -> Bench_scenarios.run_decision ~smoke
+        | "measurement" -> Bench_scenarios.run_measurement ~smoke
+        | "eventqueue" -> Bench_scenarios.run_eventqueue ~smoke
+        | g -> failwith ("unknown bench group: " ^ g)
+      in
+      let path = Bench_scenarios.write_json ~bench:group ~out_dir results in
+      Printf.printf "%s:\n" group;
+      print_bench_results results;
+      Printf.printf "  wrote %s\n" path)
+    groups
+
 let () =
   selected := List.tl (Array.to_list Sys.argv);
+  match !selected with
+  | "bench" :: bench_args ->
+      print_endline "FasTrak control-plane scalability benchmarks";
+      run_bench_mode bench_args;
+      line ();
+      print_endline "done."
+  | _ ->
   (* requests_scale trades run length for statistical smoothness. *)
   Memcached_eval.requests_scale := (if quick () then 0.01 else 0.02);
   print_endline "FasTrak reproduction benchmark harness";

@@ -1,4 +1,5 @@
 module Fkey = Netcore.Fkey
+module Ptbl = Netcore.Fkey.Pattern.Table
 
 type candidate = {
   pattern : Fkey.Pattern.t;
@@ -55,20 +56,10 @@ let m_calls = Obs.Metrics.counter "fastrak.decide.calls"
 let m_offloads = Obs.Metrics.counter "fastrak.decide.offloads"
 let m_demotes = Obs.Metrics.counter "fastrak.decide.demotes"
 
-let decide ~candidates ~offloaded ~tcam_free ?(max_offloads = None) ~min_score () =
-  Obs.Metrics.incr m_calls;
-  (* Total budget: free entries plus everything currently offloaded,
-     since non-winners are demoted and return their entries. *)
-  let budget =
-    tcam_free + List.fold_left (fun s (_, c) -> s + c.tcam_entries) 0 offloaded
-  in
-  let eligible = List.filter (fun c -> c.score >= min_score) candidates in
-  let units =
-    List.stable_sort
-      (fun a b -> Float.compare b.unit_score a.unit_score)
-      (build_units eligible)
-  in
-  let count_cap = match max_offloads with Some n -> n | None -> max_int in
+(* The greedy knapsack over score-sorted units, shared by both the
+   hashtable implementation and the list-based baseline so the two can
+   only differ in the membership classification that follows it. *)
+let select_units ~budget ~count_cap units =
   let selected, _, _ =
     List.fold_left
       (fun (acc, budget_left, slots_left) u ->
@@ -78,6 +69,59 @@ let decide ~candidates ~offloaded ~tcam_free ?(max_offloads = None) ~min_score (
         else (acc, budget_left, slots_left))
       ([], budget, count_cap) units
   in
+  selected
+
+let ranked_units candidates ~min_score =
+  let eligible = List.filter (fun c -> c.score >= min_score) candidates in
+  List.stable_sort
+    (fun a b -> Float.compare b.unit_score a.unit_score)
+    (build_units eligible)
+
+let decide ~candidates ~offloaded ~tcam_free ?(max_offloads = None) ~min_score () =
+  Obs.Metrics.incr m_calls;
+  (* One walk over [offloaded] funds the budget and fills the
+     membership table; every later "currently in hardware?" question is
+     an O(1) lookup instead of a list scan per candidate. *)
+  let offloaded_tbl : candidate Ptbl.t =
+    Ptbl.create (Stdlib.max 16 (2 * List.length offloaded))
+  in
+  (* Total budget: free entries plus everything currently offloaded,
+     since non-winners are demoted and return their entries. *)
+  let budget =
+    tcam_free
+    + List.fold_left
+        (fun s (p, c) ->
+          Ptbl.replace offloaded_tbl p c;
+          s + c.tcam_entries)
+        0 offloaded
+  in
+  let units = ranked_units candidates ~min_score in
+  let count_cap = match max_offloads with Some n -> n | None -> max_int in
+  let selected = select_units ~budget ~count_cap units in
+  let selected_tbl : unit Ptbl.t =
+    Ptbl.create (Stdlib.max 16 (2 * List.length selected))
+  in
+  List.iter (fun c -> Ptbl.replace selected_tbl c.pattern ()) selected;
+  let offload, keep =
+    List.partition (fun c -> not (Ptbl.mem offloaded_tbl c.pattern)) selected
+  in
+  let demote =
+    List.filter_map
+      (fun (p, c) -> if Ptbl.mem selected_tbl p then None else Some c)
+      offloaded
+  in
+  Obs.Metrics.add m_offloads (List.length offload);
+  Obs.Metrics.add m_demotes (List.length demote);
+  { offload; demote; keep }
+
+let decide_list_baseline ~candidates ~offloaded ~tcam_free
+    ?(max_offloads = None) ~min_score () =
+  let budget =
+    tcam_free + List.fold_left (fun s (_, c) -> s + c.tcam_entries) 0 offloaded
+  in
+  let units = ranked_units candidates ~min_score in
+  let count_cap = match max_offloads with Some n -> n | None -> max_int in
+  let selected = select_units ~budget ~count_cap units in
   let is_offloaded c =
     List.exists (fun (p, _) -> Fkey.Pattern.equal p c.pattern) offloaded
   in
@@ -91,6 +135,4 @@ let decide ~candidates ~offloaded ~tcam_free ?(max_offloads = None) ~min_score (
       (fun (p, c) -> if selected_pattern p then None else Some c)
       offloaded
   in
-  Obs.Metrics.add m_offloads (List.length offload);
-  Obs.Metrics.add m_demotes (List.length demote);
   { offload; demote; keep }

@@ -34,4 +34,22 @@ val decide :
     — demotions return their entries, and the selection accounts for
     that. [candidates] must include fresh scores for offloaded
     aggregates (the TOR ME measures them); an offloaded aggregate
-    absent from [candidates] is treated as idle and demoted. *)
+    absent from [candidates] is treated as idle and demoted.
+
+    Complexity: O((c + o) log c) for [c] candidates and [o] offloaded
+    entries — one sort plus pattern-keyed hashtable membership; no
+    per-candidate walk over the offloaded set. *)
+
+val decide_list_baseline :
+  candidates:candidate list ->
+  offloaded:(Netcore.Fkey.Pattern.t * candidate) list ->
+  tcam_free:int ->
+  ?max_offloads:int option ->
+  min_score:float ->
+  unit ->
+  decision
+(** The pre-hashtable reference implementation: identical selection,
+    but membership classification by O(c × o) list scans. Kept only as
+    the oracle for the randomized equivalence tests and as the
+    baseline the benchmark harness measures speedup against — do not
+    call it on rack-scale inputs in production paths. *)

@@ -24,7 +24,23 @@ val split :
 (** Invariant: Ls + Lh = total, each >= a 5% floor of total. A maxed
     path's demand is treated as at least 1.25x its current limit so its
     share keeps growing until demand is genuinely satisfied. With an
-    unlimited total, both splits are unlimited. *)
+    unlimited total, both splits are unlimited.
+
+    The overflow allowance [O] is deliberately added to {e both} paths
+    (Rs = Ls + O and Rh = Lh + O, so Rs + Rh = total + 2O): per §4.1.4
+    each limiter independently needs headroom above its share so that
+    an overly-restrictive split is detectable on either path — a path
+    pinned exactly at Ls/Lh could never signal excess demand. Splitting
+    O across the paths would halve that signal, so it is not done.
+
+    Numeric safety: a maxed side whose current limit is non-finite
+    (e.g. [Rate_limit_spec.unlimited]) takes its measured demand
+    instead of the 1.25x boost — boosting an infinite limit would make
+    the share inf/inf = NaN. Non-finite or negative demands and
+    overflow are treated as zero. For any finite [total_bps >= 0] the
+    returned rates are finite and non-negative; a NaN [total_bps]
+    raises [Invalid_argument], as does an internal computation that
+    would otherwise install a NaN or negative rate. *)
 
 val pp : Format.formatter -> split -> unit
 (** Debug printer: [fps{soft=... hard=...}]. *)

@@ -21,11 +21,14 @@ type entry = {
 
 type report = { interval_index : int; entries : entry list }
 
+let max_destinations = 64
+
 type record = {
   rec_owner : owner;
-  mutable pps_history : float list;  (* newest first, length <= N*M *)
-  mutable bps_history : float list;
+  pps_history : Dcsim.Ring.t;  (* one sample per epoch, capacity N*M *)
+  bps_history : Dcsim.Ring.t;
   mutable rec_destinations : Netcore.Ipv4.t list;  (* most recent first, deduped *)
+  mutable dest_count : int;
 }
 
 type t = {
@@ -35,6 +38,10 @@ type t = {
   poll : unit -> (Fkey.t * int * int) list;
   classify : Fkey.t -> (Fkey.Pattern.t * owner) option;
   records : (Fkey.Pattern.t, record) Hashtbl.t;
+  (* Scratch for interval medians, grown to the history capacity once;
+     reused across every aggregate so report building allocates no
+     intermediate filtered lists. *)
+  scratch : float array;
   mutable running : bool;
   mutable epochs : int;
   mutable intervals : int;
@@ -43,6 +50,10 @@ type t = {
 
 let m_epochs = Obs.Metrics.counter "fastrak.me.epochs"
 let m_reports = Obs.Metrics.counter "fastrak.me.reports"
+let m_counter_resets = Obs.Metrics.counter "fastrak.me.counter_resets"
+
+let history_limit config =
+  Stdlib.max 1 (config.Config.epochs_per_interval * config.Config.history_intervals)
 
 let create ~engine ~config ~name ~poll ~classify =
   {
@@ -52,6 +63,7 @@ let create ~engine ~config ~name ~poll ~classify =
     poll;
     classify;
     records = Hashtbl.create 64;
+    scratch = Array.make (history_limit config) 0.0;
     running = false;
     epochs = 0;
     intervals = 0;
@@ -60,20 +72,14 @@ let create ~engine ~config ~name ~poll ~classify =
 
 let on_report t cb = t.report_cb <- cb
 
-let history_limit t =
-  t.config.Config.epochs_per_interval * t.config.Config.history_intervals
-
-let trim limit l =
-  let rec take n = function
-    | [] -> []
-    | _ when n = 0 -> []
-    | x :: rest -> x :: take (n - 1) rest
-  in
-  take limit l
-
 let add_destination record dst =
-  if not (List.exists (Netcore.Ipv4.equal dst) record.rec_destinations) then
-    record.rec_destinations <- trim 64 (dst :: record.rec_destinations)
+  if
+    record.dest_count < max_destinations
+    && not (List.exists (Netcore.Ipv4.equal dst) record.rec_destinations)
+  then begin
+    record.rec_destinations <- dst :: record.rec_destinations;
+    record.dest_count <- record.dest_count + 1
+  end
 
 (* One epoch: snapshot counters, snapshot again after poll_gap, fold the
    deltas into per-aggregate pps/bps samples. *)
@@ -101,8 +107,16 @@ let run_epoch t k =
                    | Some v -> v
                    | None -> (0, 0)
                  in
-                 let dp = float_of_int (p2 - p1) /. gap_sec in
-                 let db = float_of_int (b2 - b1) *. 8.0 /. gap_sec in
+                 (* Kernel counters jump backwards when a flow is
+                    evicted from the exact-match cache and re-created
+                    between the two polls; a negative delta is a reset
+                    artefact, not negative traffic. Clamp at zero so
+                    the sample cannot poison the interval medians. *)
+                 if p2 < p1 || b2 < b1 then Obs.Metrics.incr m_counter_resets;
+                 let dp = float_of_int (Stdlib.max 0 (p2 - p1)) /. gap_sec in
+                 let db =
+                   float_of_int (Stdlib.max 0 (b2 - b1)) *. 8.0 /. gap_sec
+                 in
                  let record =
                    match Hashtbl.find_opt t.records pattern with
                    | Some r -> r
@@ -110,9 +124,12 @@ let run_epoch t k =
                        let r =
                          {
                            rec_owner = owner;
-                           pps_history = [];
-                           bps_history = [];
+                           pps_history =
+                             Dcsim.Ring.create ~capacity:(history_limit t.config);
+                           bps_history =
+                             Dcsim.Ring.create ~capacity:(history_limit t.config);
                            rec_destinations = [];
+                           dest_count = 0;
                          }
                        in
                        Hashtbl.replace t.records pattern r;
@@ -127,8 +144,9 @@ let run_epoch t k =
                  Hashtbl.replace epoch_pps pattern (pps0 +. dp, bps0 +. db, record))
            (t.poll ());
          (* Every known aggregate gets a sample this epoch — zero if it
-            saw no traffic — so epochs_active means what it says. *)
-         let limit = history_limit t in
+            saw no traffic — so epochs_active means what it says. The
+            rings overwrite their oldest sample in place: no per-epoch
+            trim, no history allocation. *)
          Hashtbl.iter
            (fun pattern record ->
              let pps, bps =
@@ -136,8 +154,8 @@ let run_epoch t k =
                | Some (p, b, _) -> (p, b)
                | None -> (0.0, 0.0)
              in
-             record.pps_history <- trim limit (pps :: record.pps_history);
-             record.bps_history <- trim limit (bps :: record.bps_history))
+             Dcsim.Ring.push record.pps_history pps;
+             Dcsim.Ring.push record.bps_history bps)
            t.records;
          t.epochs <- t.epochs + 1;
          Obs.Metrics.incr m_epochs;
@@ -147,23 +165,31 @@ let run_epoch t k =
                 { me = t.me_name; epoch = t.epochs; interval = t.intervals });
          k ()))
 
+let positive x = x > 0.0
+
+(* Median of the active (strictly positive) samples, via the shared
+   scratch array: filter into the prefix, sort the prefix in place. *)
+let median_active t ring =
+  let n = Dcsim.Ring.filter_into positive ring t.scratch in
+  Dcsim.Stats.median_in_place t.scratch n
+
 let build_report t =
   let entries =
     Hashtbl.fold
       (fun pattern record acc ->
-        let actives = List.filter (fun p -> p > 0.0) record.pps_history in
-        if actives = [] then acc
+        let actives = Dcsim.Ring.count positive record.pps_history in
+        if actives = 0 then acc
         else begin
+          let latest ring = Option.value (Dcsim.Ring.latest ring) ~default:0.0 in
           let entry =
             {
               pattern;
               owner = record.rec_owner;
-              last_pps = (match record.pps_history with [] -> 0.0 | p :: _ -> p);
-              last_bps = (match record.bps_history with [] -> 0.0 | b :: _ -> b);
-              median_pps = Dcsim.Stats.median actives;
-              median_bps =
-                Dcsim.Stats.median (List.filter (fun b -> b > 0.0) record.bps_history);
-              epochs_active = List.length actives;
+              last_pps = latest record.pps_history;
+              last_bps = latest record.bps_history;
+              median_pps = median_active t record.pps_history;
+              median_bps = median_active t record.bps_history;
+              epochs_active = actives;
               destinations = record.rec_destinations;
             }
           in

@@ -8,7 +8,16 @@
 
     Flows are folded into aggregates by the [classify] function —
     typically per VM per application (<VM IP, L4 port, tenant>), the
-    rule of thumb from the paper. *)
+    rule of thumb from the paper.
+
+    Histories are fixed-size ring buffers (capacity N x M epochs), so
+    an epoch costs O(1) per aggregate with no allocation — the
+    hot-path budget that keeps tens of thousands of aggregates per
+    rack affordable. A counter that jumps backwards between the two
+    polls (the flow was evicted from the exact-match cache and
+    re-created) is clamped to a zero delta rather than reported as
+    negative traffic; each such event increments the
+    [fastrak.me.counter_resets] metric. *)
 
 type owner = {
   tenant : Netcore.Tenant.id;

@@ -3,12 +3,18 @@ type 'a entry = {
   seq : int;
   payload : 'a;
   mutable cancelled : bool;
+  (* Set once the entry has permanently left the heap (popped, or
+     dropped during lazy deletion / compaction). Distinguishing
+     "cancelled" from "consumed" makes cancel-after-fire and
+     double-cancel safe no-ops: neither touches [live] twice. *)
+  mutable consumed : bool;
 }
 
 type 'a t = {
   mutable heap : 'a entry array;
-  (* [heap] has [size] live slots; remaining slots hold stale entries
-     kept only to satisfy the array type. *)
+  (* [heap] has [size] live slots; slots >= [size] always hold the
+     shared dummy entry so popped payloads (often closures) are not
+     retained by the array. *)
   mutable size : int;
   mutable next_seq : int;
   mutable live : int;
@@ -17,7 +23,22 @@ type 'a t = {
 type handle = Obj.t
 (* The handle is the entry itself, hidden behind Obj.t so the interface
    need not expose the payload type parameter. Cancellation just flips
-   the entry's flag; the heap drops cancelled entries lazily on pop. *)
+   the entry's flag; the heap drops cancelled entries lazily on pop, or
+   eagerly when they come to dominate (see [maybe_compact]). *)
+
+(* One shared filler for vacated slots. Its payload is (), an
+   immediate, so it pins nothing; it is never read as a live entry
+   because slots >= [size] are never accessed. *)
+let shared_dummy : Obj.t entry =
+  {
+    time = Simtime.zero;
+    seq = min_int;
+    payload = Obj.repr ();
+    cancelled = true;
+    consumed = true;
+  }
+
+let dummy () : 'a entry = Obj.magic shared_dummy
 
 let create () = { heap = [||]; size = 0; next_seq = 0; live = 0 }
 let is_empty t = t.live = 0
@@ -51,31 +72,60 @@ let rec sift_down t i =
     sift_down t !smallest
   end
 
-let grow t entry =
+let grow t =
   let capacity = Array.length t.heap in
   if t.size = capacity then begin
     let new_capacity = Stdlib.max 16 (2 * capacity) in
-    let heap = Array.make new_capacity entry in
+    let heap = Array.make new_capacity (dummy ()) in
     Array.blit t.heap 0 heap 0 t.size;
     t.heap <- heap
   end
 
 let push t time payload =
-  let entry = { time; seq = t.next_seq; payload; cancelled = false } in
+  let entry = { time; seq = t.next_seq; payload; cancelled = false; consumed = false } in
   t.next_seq <- t.next_seq + 1;
-  grow t entry;
+  grow t;
   t.heap.(t.size) <- entry;
   t.size <- t.size + 1;
   t.live <- t.live + 1;
   sift_up t (t.size - 1);
   Obj.repr entry
 
+(* Drop every cancelled entry in one pass and re-heapify. O(size);
+   amortised against the cancellations that triggered it. *)
+let compact t =
+  let old_size = t.size in
+  let j = ref 0 in
+  for i = 0 to old_size - 1 do
+    let e = t.heap.(i) in
+    if e.cancelled then e.consumed <- true
+    else begin
+      t.heap.(!j) <- e;
+      incr j
+    end
+  done;
+  t.size <- !j;
+  Array.fill t.heap t.size (old_size - t.size) (dummy ());
+  for i = (t.size / 2) - 1 downto 0 do
+    sift_down t i
+  done;
+  (* Shed capacity the burst of cancellations no longer needs. *)
+  let capacity = Array.length t.heap in
+  if capacity > 16 && t.size * 4 < capacity then
+    t.heap <- Array.sub t.heap 0 (Stdlib.max 16 (capacity / 2))
+
+let compact_threshold = 64
+
+let maybe_compact t =
+  if t.size >= compact_threshold && 2 * t.live < t.size then compact t
+
 let cancel t handle =
   let entry : 'a entry = Obj.obj handle in
-  if entry.cancelled then false
+  if entry.cancelled || entry.consumed then false
   else begin
     entry.cancelled <- true;
     t.live <- t.live - 1;
+    maybe_compact t;
     true
   end
 
@@ -86,8 +136,11 @@ let pop_entry t =
     t.size <- t.size - 1;
     if t.size > 0 then begin
       t.heap.(0) <- t.heap.(t.size);
+      t.heap.(t.size) <- dummy ();
       sift_down t 0
-    end;
+    end
+    else t.heap.(0) <- dummy ();
+    top.consumed <- true;
     Some top
   end
 

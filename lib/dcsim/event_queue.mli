@@ -16,7 +16,12 @@ type handle
 val push : 'a t -> Simtime.t -> 'a -> handle
 val cancel : 'a t -> handle -> bool
 (** [cancel q h] removes the event; returns [false] if it already fired
-    or was already cancelled. Cancellation is O(1) (lazy deletion). *)
+    or was already cancelled — both are safe no-ops that leave
+    {!length} untouched. Cancellation is amortised O(1): deletion is
+    lazy, but once cancelled entries outnumber live ones the heap is
+    compacted in a single pass so it cannot grow without bound under
+    heavy reschedule churn. Popped and compacted-away slots are
+    cleared, so the queue does not retain payload closures. *)
 
 val pop : 'a t -> (Simtime.t * 'a) option
 (** Remove and return the earliest live event. *)

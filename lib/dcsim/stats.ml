@@ -163,3 +163,13 @@ let median values =
       let a = Array.of_list sorted in
       let n = Array.length a in
       if n mod 2 = 1 then a.(n / 2) else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.0
+
+let median_in_place a n =
+  if n <= 0 then 0.
+  else begin
+    (* Pad the unused tail with +inf so a whole-array sort leaves the
+       [n] real samples as the sorted prefix. *)
+    Array.fill a n (Array.length a - n) infinity;
+    Array.sort Float.compare a;
+    if n mod 2 = 1 then a.(n / 2) else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.0
+  end

@@ -71,3 +71,9 @@ end
 
 val median : float list -> float
 (** Median of a list; 0 when empty. *)
+
+val median_in_place : float array -> int -> float
+(** [median_in_place a n] is the median of [a.(0) .. a.(n-1)], sorting
+    that prefix in place (no allocation beyond the sort); 0 when [n] is
+    0. The hot-path counterpart of {!median} for callers that already
+    own a scratch array. *)

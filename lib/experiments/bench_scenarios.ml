@@ -1,0 +1,285 @@
+module Simtime = Dcsim.Simtime
+module Engine = Dcsim.Engine
+module Rng = Dcsim.Rng
+module Fkey = Netcore.Fkey
+module Ipv4 = Netcore.Ipv4
+module De = Fastrak.Decision_engine
+
+type result = {
+  scenario : string;
+  unit_ : string;
+  params : (string * float) list;
+  runs : int;
+  ns_per_op : float;
+  ops_per_sec : float;
+  minor_words_per_op : float;
+  baseline_ns_per_op : float option;
+}
+
+(* Repeat [f] until it has consumed [min_time] CPU seconds (at least
+   [min_runs] times) and average. One warmup run is discarded so
+   first-call effects (hashtable sizing, lazy setup) do not skew the
+   numbers. *)
+let time_runs ?(min_time = 0.2) ?(min_runs = 2) f =
+  f ();
+  let t0 = Sys.time () in
+  let w0 = Gc.minor_words () in
+  let runs = ref 0 in
+  while !runs < min_runs || Sys.time () -. t0 < min_time do
+    f ();
+    incr runs
+  done;
+  let elapsed = Sys.time () -. t0 in
+  let words = Gc.minor_words () -. w0 in
+  (!runs, elapsed /. float_of_int !runs, words /. float_of_int !runs)
+
+let mk_result ~scenario ~unit_ ~params ~ops ?baseline (runs, sec_per_run, words_per_run)
+    =
+  let ops_f = float_of_int ops in
+  let sec_per_op = sec_per_run /. ops_f in
+  {
+    scenario;
+    unit_;
+    params;
+    runs;
+    ns_per_op = sec_per_op *. 1e9;
+    ops_per_sec = (if sec_per_op > 0.0 then 1.0 /. sec_per_op else 0.0);
+    minor_words_per_op = words_per_run /. ops_f;
+    baseline_ns_per_op =
+      Option.map (fun (_, sec, _) -> sec /. ops_f *. 1e9) baseline;
+  }
+
+(* --- decision engine --- *)
+
+let tenant = Netcore.Tenant.of_int 7
+
+let ip_of_index i =
+  Ipv4.of_octets 10 ((i lsr 16) land 0xFF) ((i lsr 8) land 0xFF) (i land 0xFF)
+
+let mk_candidates rng n =
+  List.init n (fun i ->
+      {
+        De.pattern =
+          {
+            Fkey.Pattern.any with
+            Fkey.Pattern.src_ip = Some (ip_of_index i);
+            src_port = Some (1024 + (i land 0xFFFF));
+            tenant = Some tenant;
+          };
+        tenant;
+        vm_ip = ip_of_index i;
+        score = Rng.float rng 10_000.0;
+        tcam_entries = 1 + Rng.int rng 4;
+        (* ~5% of candidates belong to an all-or-none group. *)
+        group =
+          (if Rng.int rng 100 < 5 then Some (Rng.int rng (Stdlib.max 1 (n / 50)))
+           else None);
+      })
+
+(* The currently-offloaded set: every k-th candidate (their previous
+   interval's scores), which gives decide a large membership set to
+   classify against. *)
+let mk_offloaded candidates ~offloaded =
+  let n = List.length candidates in
+  let k = Stdlib.max 1 (n / Stdlib.max 1 offloaded) in
+  List.filteri (fun i _ -> i mod k = 0) candidates
+  |> List.map (fun (c : De.candidate) -> (c.De.pattern, c))
+
+let decision_case ~smoke ~with_baseline ~candidates:n ~offloaded:o =
+  let rng = Rng.create ~seed:42 in
+  let candidates = mk_candidates rng n in
+  let offloaded = mk_offloaded candidates ~offloaded:o in
+  let o = List.length offloaded in
+  let tcam_free = n in
+  let run_decide () =
+    ignore
+      (De.decide ~candidates ~offloaded ~tcam_free ~min_score:100.0 ())
+  in
+  let min_time = if smoke then 0.02 else 0.2 in
+  let timed = time_runs ~min_time run_decide in
+  let baseline =
+    if with_baseline then
+      Some
+        (time_runs ~min_time ~min_runs:1 (fun () ->
+             ignore
+               (De.decide_list_baseline ~candidates ~offloaded ~tcam_free
+                  ~min_score:100.0 ())))
+    else None
+  in
+  mk_result
+    ~scenario:(Printf.sprintf "decide/%dc-%do" n o)
+    ~unit_:"call"
+    ~params:
+      [
+        ("candidates", float_of_int n);
+        ("offloaded", float_of_int o);
+        ("tcam_free", float_of_int tcam_free);
+      ]
+    ~ops:1 ?baseline timed
+
+let run_decision ~smoke =
+  if smoke then [ decision_case ~smoke ~with_baseline:true ~candidates:200 ~offloaded:50 ]
+  else
+    [
+      decision_case ~smoke ~with_baseline:true ~candidates:1_000 ~offloaded:200;
+      decision_case ~smoke ~with_baseline:true ~candidates:10_000 ~offloaded:2_000;
+      (* The quadratic baseline is too slow to time at 50k. *)
+      decision_case ~smoke ~with_baseline:false ~candidates:50_000 ~offloaded:10_000;
+    ]
+
+(* --- measurement engine --- *)
+
+let measurement_case ~smoke ~aggregates ~epochs =
+  let epoch_period = Simtime.span_ms 10.0 in
+  let config =
+    {
+      Fastrak.Config.default with
+      Fastrak.Config.epoch_period;
+      poll_gap = Simtime.span_ms 4.0;
+      epochs_per_interval = 2;
+      history_intervals = 3;
+    }
+  in
+  let flows =
+    Array.init aggregates (fun i ->
+        Fkey.make ~src_ip:(ip_of_index i)
+          ~dst_ip:(ip_of_index (i + 1))
+          ~src_port:(1024 + (i land 0x3FFF))
+          ~dst_port:11211 ~proto:Fkey.Tcp ~tenant)
+  in
+  let run_scenario () =
+    let engine = Engine.create () in
+    let polls = ref 0 in
+    let poll () =
+      incr polls;
+      let k = !polls in
+      Array.to_list (Array.map (fun f -> (f, k * 10, k * 1000)) flows)
+    in
+    let me =
+      Fastrak.Measurement_engine.create ~engine ~config ~name:"bench" ~poll
+        ~classify:(fun flow ->
+          Some
+            ( Fkey.Pattern.src_aggregate flow,
+              {
+                Fastrak.Measurement_engine.tenant;
+                vm_ip = flow.Fkey.src_ip;
+                direction = `Outgoing;
+              } ))
+    in
+    Fastrak.Measurement_engine.start me;
+    Engine.run
+      ~until:(Simtime.add Simtime.zero
+                (Simtime.span_scale (float_of_int epochs +. 0.5) epoch_period))
+      engine;
+    Fastrak.Measurement_engine.stop me
+  in
+  let min_time = if smoke then 0.02 else 0.2 in
+  let timed = time_runs ~min_time ~min_runs:1 run_scenario in
+  mk_result
+    ~scenario:(Printf.sprintf "me-epoch/%da-%de" aggregates epochs)
+    ~unit_:"epoch"
+    ~params:
+      [ ("aggregates", float_of_int aggregates); ("epochs", float_of_int epochs) ]
+    ~ops:epochs timed
+
+let run_measurement ~smoke =
+  if smoke then [ measurement_case ~smoke ~aggregates:200 ~epochs:4 ]
+  else [ measurement_case ~smoke ~aggregates:10_000 ~epochs:10 ]
+
+(* --- event queue --- *)
+
+let eventq_churn ~smoke ~events =
+  let rng = Rng.create ~seed:7 in
+  let times = Array.init events (fun _ -> Rng.int rng 1_000_000_000) in
+  let run_scenario () =
+    let q = Dcsim.Event_queue.create () in
+    Array.iter (fun ns -> ignore (Dcsim.Event_queue.push q (Simtime.of_ns ns) ns)) times;
+    while Dcsim.Event_queue.pop q <> None do
+      ()
+    done
+  in
+  let min_time = if smoke then 0.02 else 0.2 in
+  let timed = time_runs ~min_time run_scenario in
+  mk_result
+    ~scenario:(Printf.sprintf "eventq-churn/%d" events)
+    ~unit_:"event"
+    ~params:[ ("events", float_of_int events) ]
+    ~ops:events timed
+
+let eventq_cancel_heavy ~smoke ~events =
+  let rng = Rng.create ~seed:11 in
+  let times = Array.init events (fun _ -> Rng.int rng 1_000_000_000) in
+  (* Pre-draw which events die so the timed region draws nothing. *)
+  let doomed = Array.init events (fun _ -> Rng.int rng 10 < 9) in
+  let run_scenario () =
+    let q = Dcsim.Event_queue.create () in
+    let handles =
+      Array.mapi
+        (fun i ns -> (i, Dcsim.Event_queue.push q (Simtime.of_ns ns) ns))
+        times
+    in
+    Array.iter
+      (fun (i, h) -> if doomed.(i) then ignore (Dcsim.Event_queue.cancel q h))
+      handles;
+    while Dcsim.Event_queue.pop q <> None do
+      ()
+    done
+  in
+  let min_time = if smoke then 0.02 else 0.2 in
+  let timed = time_runs ~min_time run_scenario in
+  mk_result
+    ~scenario:(Printf.sprintf "eventq-cancel90/%d" events)
+    ~unit_:"event"
+    ~params:[ ("events", float_of_int events); ("cancel_fraction", 0.9) ]
+    ~ops:events timed
+
+let run_eventqueue ~smoke =
+  let events = if smoke then 2_000 else 200_000 in
+  [ eventq_churn ~smoke ~events; eventq_cancel_heavy ~smoke ~events ]
+
+(* --- JSON emission --- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let result_to_json r =
+  let b = Buffer.create 256 in
+  Buffer.add_string b "    {\n";
+  Printf.bprintf b "      \"scenario\": \"%s\",\n" (json_escape r.scenario);
+  Printf.bprintf b "      \"unit\": \"%s\",\n" (json_escape r.unit_);
+  Buffer.add_string b "      \"params\": {";
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_string b ", ";
+      Printf.bprintf b "\"%s\": %g" (json_escape k) v)
+    r.params;
+  Buffer.add_string b "},\n";
+  Printf.bprintf b "      \"runs\": %d,\n" r.runs;
+  Printf.bprintf b "      \"ns_per_op\": %.1f,\n" r.ns_per_op;
+  Printf.bprintf b "      \"ops_per_sec\": %.1f,\n" r.ops_per_sec;
+  Printf.bprintf b "      \"minor_words_per_op\": %.1f" r.minor_words_per_op;
+  (match r.baseline_ns_per_op with
+  | Some bl ->
+      Printf.bprintf b ",\n      \"baseline_ns_per_op\": %.1f,\n" bl;
+      Printf.bprintf b "      \"speedup_vs_baseline\": %.2f\n"
+        (if r.ns_per_op > 0.0 then bl /. r.ns_per_op else 0.0)
+  | None -> Buffer.add_string b "\n");
+  Buffer.add_string b "    }";
+  Buffer.contents b
+
+let write_json ~bench ~out_dir results =
+  let path = Filename.concat out_dir ("BENCH_" ^ bench ^ ".json") in
+  let oc = open_out path in
+  Printf.fprintf oc "{\n  \"bench\": \"%s\",\n  \"schema_version\": 1,\n"
+    (json_escape bench);
+  Printf.fprintf oc "  \"scenarios\": [\n%s\n  ]\n}\n"
+    (String.concat ",\n" (List.map result_to_json results));
+  close_out oc;
+  path

@@ -1,0 +1,43 @@
+(** Named control-plane benchmark scenarios.
+
+    Each scenario exercises one hot path of the measure→score→decide→
+    install pipeline at rack-scale flow counts and reports throughput
+    plus allocation pressure. The harness ([bench/main.exe bench])
+    writes one machine-readable [BENCH_<name>.json] per scenario group
+    so the repository accumulates a performance trajectory; the
+    [@bench-smoke] dune alias runs every scenario at a tiny size on
+    each [dune runtest] so the harness cannot rot. Schema and scenario
+    list: [docs/BENCH.md]. *)
+
+type result = {
+  scenario : string;  (** e.g. ["decide/10000c-2000o"]. *)
+  unit_ : string;  (** What one "op" is: ["call"], ["epoch"], ["event"]. *)
+  params : (string * float) list;  (** Scenario sizing knobs. *)
+  runs : int;  (** Timed repetitions behind the averages. *)
+  ns_per_op : float;
+  ops_per_sec : float;
+  minor_words_per_op : float;  (** GC minor words allocated per op. *)
+  baseline_ns_per_op : float option;
+      (** Same scenario on the pre-optimisation (list-based) code path,
+          when one exists; [ns_per_op] vs this is the speedup. *)
+}
+
+val run_decision : smoke:bool -> result list
+(** Decision-engine knapsack at 1k/10k/50k candidates (smoke: 200),
+    with ~20% of the candidate set currently offloaded. Sizes that
+    keep the quadratic baseline affordable also time
+    {!Fastrak.Decision_engine.decide_list_baseline}. *)
+
+val run_measurement : smoke:bool -> result list
+(** Measurement-engine epochs over 10k concurrent aggregates (smoke:
+    200): two counter polls per epoch, per-aggregate ring-buffer
+    updates, and interval report building with medians. *)
+
+val run_eventqueue : smoke:bool -> result list
+(** Raw event-queue churn (smoke-scaled): push/pop ordering load and a
+    cancel-heavy variant where 90% of pushed events are cancelled,
+    exercising lazy deletion plus heap compaction. *)
+
+val write_json : bench:string -> out_dir:string -> result list -> string
+(** [write_json ~bench ~out_dir results] writes
+    [out_dir/BENCH_<bench>.json] and returns the path written. *)

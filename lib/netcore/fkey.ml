@@ -150,6 +150,17 @@ module Pattern = struct
   let compare a b = Stdlib.compare a b
   let equal a b = compare a b = 0
 
+  (* Structural hashing agrees with [equal]: every field is an
+     immediate (int, int option) or a simple variant. *)
+  let hash (p : t) = Hashtbl.hash p
+
+  module Table = Hashtbl.Make (struct
+    type nonrec t = t
+
+    let equal = equal
+    let hash = hash
+  end)
+
   let pp_field pp_v ppf = function
     | None -> Format.pp_print_string ppf "*"
     | Some v -> pp_v ppf v

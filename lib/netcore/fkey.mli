@@ -80,5 +80,11 @@ module Pattern : sig
 
   val compare : t -> t -> int
   val equal : t -> t -> bool
+  val hash : t -> int
   val pp : Format.formatter -> t -> unit
+
+  module Table : Hashtbl.S with type key = t
+  (** Hash table keyed by pattern — the O(1) membership structure the
+      decision engine and TOR controller use for offloaded-set lookups
+      at rack-scale flow counts. *)
 end

@@ -87,6 +87,80 @@ let test_queue_peek_skips_cancelled () =
   | None -> Alcotest.fail "expected peek");
   ()
 
+let test_queue_cancel_after_pop () =
+  (* Regression: cancelling a handle whose event already fired must be
+     a no-op — it used to return true and corrupt [length]. *)
+  let q = Dcsim.Event_queue.create () in
+  let h1 = Dcsim.Event_queue.push q (Simtime.of_ns 1) 1 in
+  ignore (Dcsim.Event_queue.push q (Simtime.of_ns 2) 2);
+  (match Dcsim.Event_queue.pop q with
+  | Some (_, v) -> checki "popped first" 1 v
+  | None -> Alcotest.fail "expected an event");
+  checkb "cancel after fire is a no-op" false (Dcsim.Event_queue.cancel q h1);
+  checki "length uncorrupted" 1 (Dcsim.Event_queue.length q);
+  checkb "not empty" false (Dcsim.Event_queue.is_empty q);
+  (* Cancel-then-pop-then-cancel: the lazily-discarded entry must not
+     be cancellable a second time either. *)
+  let h2 = Dcsim.Event_queue.push q (Simtime.of_ns 1) 3 in
+  checkb "cancel live" true (Dcsim.Event_queue.cancel q h2);
+  (match Dcsim.Event_queue.pop q with
+  | Some (_, v) -> checki "skips cancelled" 2 v
+  | None -> Alcotest.fail "expected survivor");
+  checkb "cancel after lazy discard" false (Dcsim.Event_queue.cancel q h2);
+  checki "drained" 0 (Dcsim.Event_queue.length q);
+  checkb "pop on empty" true (Dcsim.Event_queue.pop q = None)
+
+let test_queue_compaction () =
+  (* Mass cancellation triggers heap compaction; ordering and length
+     must survive it. *)
+  let q = Dcsim.Event_queue.create () in
+  let handles =
+    List.init 10_000 (fun i -> (i, Dcsim.Event_queue.push q (Simtime.of_ns i) i))
+  in
+  List.iter
+    (fun (i, h) ->
+      if i mod 1000 <> 0 then checkb "cancel" true (Dcsim.Event_queue.cancel q h))
+    handles;
+  checki "live survivors" 10 (Dcsim.Event_queue.length q);
+  let rec drain acc =
+    match Dcsim.Event_queue.pop q with
+    | None -> List.rev acc
+    | Some (_, v) -> drain (v :: acc)
+  in
+  Alcotest.check (Alcotest.list Alcotest.int) "survivors in order"
+    [ 0; 1000; 2000; 3000; 4000; 5000; 6000; 7000; 8000; 9000 ]
+    (drain [])
+
+(* --- Ring --- *)
+
+let test_ring_basics () =
+  let r = Dcsim.Ring.create ~capacity:3 in
+  checkb "empty" true (Dcsim.Ring.is_empty r);
+  checkb "no latest" true (Dcsim.Ring.latest r = None);
+  Dcsim.Ring.push r 1.0;
+  Dcsim.Ring.push r 2.0;
+  checki "len" 2 (Dcsim.Ring.length r);
+  checkb "latest" true (Dcsim.Ring.latest r = Some 2.0);
+  Dcsim.Ring.push r 3.0;
+  Dcsim.Ring.push r 4.0;
+  (* Capacity 3: the 1.0 fell off. *)
+  checki "capped" 3 (Dcsim.Ring.length r);
+  checkb "latest after wrap" true (Dcsim.Ring.latest r = Some 4.0);
+  check (Alcotest.float 0.0) "fold oldest-first" 9.0
+    (Dcsim.Ring.fold ( +. ) 0.0 r);
+  checki "count" 2 (Dcsim.Ring.count (fun x -> x > 2.5) r);
+  let scratch = Array.make 3 0.0 in
+  let n = Dcsim.Ring.filter_into (fun x -> x > 2.5) r scratch in
+  checki "filtered" 2 n;
+  check (Alcotest.float 0.0) "median of filtered" 3.5
+    (Dcsim.Stats.median_in_place scratch n)
+
+let test_median_in_place () =
+  let a = [| 5.0; 1.0; 3.0; 0.0; 0.0 |] in
+  check (Alcotest.float 0.0) "prefix median" 3.0 (Dcsim.Stats.median_in_place a 3);
+  check (Alcotest.float 0.0) "empty" 0.0
+    (Dcsim.Stats.median_in_place [| 1.0 |] 0)
+
 (* --- Engine --- *)
 
 let test_engine_runs_in_order () =
@@ -293,6 +367,41 @@ let prop_event_queue_sorted =
            (List.filteri (fun i _ -> i < List.length popped - 1) popped)
            (List.tl popped))
 
+let prop_event_queue_length_under_churn =
+  (* Random interleavings of push / cancel / pop (including cancels of
+     handles that already fired): [length] must always equal the number
+     of live events — the invariant the cancel-after-pop bug broke. *)
+  QCheck2.Test.make ~name:"event queue length consistent under churn" ~count:200
+    QCheck2.Gen.(list_size (int_range 1 200) (pair (int_range 0 1000) (int_range 0 99)))
+    (fun ops ->
+      let q = Dcsim.Event_queue.create () in
+      let handles = ref [] in
+      let live = ref 0 in
+      List.iter
+        (fun (t, action) ->
+          if action < 55 then begin
+            handles := Dcsim.Event_queue.push q (Simtime.of_ns t) t :: !handles;
+            incr live
+          end
+          else if action < 85 then begin
+            match !handles with
+            | [] -> ()
+            | h :: rest ->
+                handles := rest;
+                if Dcsim.Event_queue.cancel q h then decr live
+          end
+          else begin
+            match Dcsim.Event_queue.pop q with
+            | Some _ -> decr live
+            | None -> ()
+          end)
+        ops;
+      let consistent = Dcsim.Event_queue.length q = !live in
+      let rec drain n =
+        match Dcsim.Event_queue.pop q with None -> n | Some _ -> drain (n + 1)
+      in
+      consistent && drain 0 = !live)
+
 let prop_histogram_percentile_monotone =
   QCheck2.Test.make ~name:"histogram percentiles are monotone" ~count:100
     QCheck2.Gen.(list_size (int_range 1 200) (float_bound_exclusive 100000.0))
@@ -327,7 +436,11 @@ let suite =
     t "event queue ordering" test_queue_ordering;
     t "event queue fifo ties" test_queue_fifo_ties;
     t "event queue cancel" test_queue_cancel;
+    t "event queue cancel after pop" test_queue_cancel_after_pop;
+    t "event queue compaction" test_queue_compaction;
     t "event queue peek skips cancelled" test_queue_peek_skips_cancelled;
+    t "ring buffer basics" test_ring_basics;
+    t "median in place" test_median_in_place;
     t "engine runs in order" test_engine_runs_in_order;
     t "engine until" test_engine_until;
     t "engine after/cancel" test_engine_after_and_cancel;
@@ -349,6 +462,7 @@ let suite =
     t "mmc wait" test_mmc;
     t "littles law" test_littles_law;
     QCheck_alcotest.to_alcotest prop_event_queue_sorted;
+    QCheck_alcotest.to_alcotest prop_event_queue_length_under_churn;
     QCheck_alcotest.to_alcotest prop_histogram_percentile_monotone;
     QCheck_alcotest.to_alcotest prop_summary_mean_bounds;
   ]

@@ -104,6 +104,74 @@ let test_fps_unlimited_total () =
     (Rules.Rate_limit_spec.is_unlimited split.Fastrak.Fps.soft
     && Rules.Rate_limit_spec.is_unlimited split.Fastrak.Fps.hard)
 
+let test_fps_maxed_unlimited_current () =
+  (* Regression: a maxed side whose current limit is unlimited used to
+     boost to 1.25 * infinity, making share_soft = inf/inf = NaN and
+     installing NaN into both limiters. The boost must fall back to
+     measured demand. *)
+  let current =
+    Some
+      {
+        Fastrak.Fps.soft = Rules.Rate_limit_spec.unlimited;
+        hard = Rules.Rate_limit_spec.unlimited;
+      }
+  in
+  let split =
+    Fastrak.Fps.split ~total_bps:1e9 ~overflow_bps:5e7 ~current
+      {
+        Fastrak.Fps.demand_soft_bps = 4e8;
+        demand_hard_bps = 2e8;
+        soft_maxed = true;
+        hard_maxed = true;
+      }
+  in
+  let soft = split.Fastrak.Fps.soft.Rules.Rate_limit_spec.rate_bps in
+  let hard = split.Fastrak.Fps.hard.Rules.Rate_limit_spec.rate_bps in
+  checkb "soft finite" true (Float.is_finite soft);
+  checkb "hard finite" true (Float.is_finite hard);
+  (* With the boost disarmed the split follows measured demand 2:1. *)
+  checkf 1e6 "soft by demand" (2.0 /. 3.0 *. 1e9 +. 5e7) soft;
+  checkf 1e6 "hard by demand" (1.0 /. 3.0 *. 1e9 +. 5e7) hard
+
+let prop_fps_split_finite =
+  QCheck2.Test.make ~name:"fps split never NaN/negative" ~count:1000
+    QCheck2.Gen.(
+      let demand =
+        oneof [ pure 0.0; float_bound_exclusive 2e9; pure 1e15; pure neg_infinity ]
+      in
+      quad demand demand (pair bool bool) (pair (int_range 0 2) (int_range 0 1)))
+    (fun (ds, dh, (sm, hm), (cur_kind, ov_kind)) ->
+      let overflow = if ov_kind = 0 then 0.0 else 5e7 in
+      let current =
+        match cur_kind with
+        | 0 -> None
+        | 1 ->
+            (* Both sides unlimited: the maxed-boost corner. *)
+            Some
+              {
+                Fastrak.Fps.soft = Rules.Rate_limit_spec.unlimited;
+                hard = Rules.Rate_limit_spec.unlimited;
+              }
+        | _ ->
+            Some
+              {
+                Fastrak.Fps.soft = Rules.Rate_limit_spec.make ~rate_bps:2e8 ();
+                hard = Rules.Rate_limit_spec.make ~rate_bps:8e8 ();
+              }
+      in
+      let split =
+        Fastrak.Fps.split ~total_bps:1e9 ~overflow_bps:overflow ~current
+          {
+            Fastrak.Fps.demand_soft_bps = ds;
+            demand_hard_bps = dh;
+            soft_maxed = sm;
+            hard_maxed = hm;
+          }
+      in
+      let ok v = Float.is_finite v && v >= 0.0 in
+      ok split.Fastrak.Fps.soft.Rules.Rate_limit_spec.rate_bps
+      && ok split.Fastrak.Fps.hard.Rules.Rate_limit_spec.rate_bps)
+
 (* --- Scoring --- *)
 
 let test_scoring () =
@@ -220,6 +288,59 @@ let test_decide_group_all_or_none () =
   in
   checki "both taken" 2 (List.length d2.Fastrak.Decision_engine.offload)
 
+let test_decide_matches_list_baseline () =
+  (* The hashtable rewrite must agree with the retained list-based
+     implementation on randomized inputs: same offload/demote/keep
+     sets. Seeded via Dcsim.Rng so failures reproduce. *)
+  let rng = Dcsim.Rng.create ~seed:20260806 in
+  for trial = 1 to 200 do
+    let n = 1 + Dcsim.Rng.int rng 60 in
+    let candidates =
+      List.init n (fun i ->
+          candidate
+            ~score:(Dcsim.Rng.float rng 1000.0)
+            ~entries:(1 + Dcsim.Rng.int rng 4)
+            ~group:
+              (if Dcsim.Rng.int rng 10 = 0 then Some (Dcsim.Rng.int rng 5)
+               else None)
+            ~port:i ())
+    in
+    let offloaded =
+      List.filter_map
+        (fun (c : Fastrak.Decision_engine.candidate) ->
+          if Dcsim.Rng.int rng 3 = 0 then
+            Some (c.Fastrak.Decision_engine.pattern, c)
+          else None)
+        candidates
+    in
+    let tcam_free = Dcsim.Rng.int rng 120 in
+    let max_offloads =
+      if Dcsim.Rng.bool rng then None else Some (Dcsim.Rng.int rng (n + 1))
+    in
+    let min_score = Dcsim.Rng.float rng 500.0 in
+    let fast =
+      Fastrak.Decision_engine.decide ~candidates ~offloaded ~tcam_free
+        ~max_offloads ~min_score ()
+    in
+    let slow =
+      Fastrak.Decision_engine.decide_list_baseline ~candidates ~offloaded
+        ~tcam_free ~max_offloads ~min_score ()
+    in
+    let label what =
+      Printf.sprintf "trial %d (%d cands, %d offloaded): %s" trial n
+        (List.length offloaded) what
+    in
+    let check_same what a b =
+      Alcotest.check (Alcotest.list Alcotest.int) (label what) (ports a) (ports b)
+    in
+    check_same "offload" slow.Fastrak.Decision_engine.offload
+      fast.Fastrak.Decision_engine.offload;
+    check_same "demote" slow.Fastrak.Decision_engine.demote
+      fast.Fastrak.Decision_engine.demote;
+    check_same "keep" slow.Fastrak.Decision_engine.keep
+      fast.Fastrak.Decision_engine.keep
+  done
+
 (* --- Measurement engine --- *)
 
 let me_config =
@@ -298,6 +419,55 @@ let test_me_idle_flows_dropped_from_report () =
   match !last with
   | Some r -> checki "no active entries" 0 (List.length r.Fastrak.Measurement_engine.entries)
   | None -> Alcotest.fail "expected a report"
+
+let test_me_counter_reset_clamped () =
+  (* A flow evicted from the exact-match cache and re-created between
+     polls restarts its kernel counters from zero; the resulting
+     negative delta must be clamped (counted as a reset), not reported
+     as negative pps that poisons the medians. *)
+  let engine = Engine.create () in
+  let f =
+    Fkey.make ~src_ip:(Ipv4.of_string "10.7.0.1") ~dst_ip:(Ipv4.of_string "10.7.0.2")
+      ~src_port:10 ~dst_port:20 ~proto:Fkey.Tcp ~tenant
+  in
+  let packets = ref 0 in
+  Engine.every engine (Simtime.span_ms 1.0) (fun () ->
+      packets := !packets + 2;
+      `Continue);
+  (* Mid-run eviction: counters restart from zero. With a 100 ms epoch
+     period and 40 ms poll gap the epochs' poll windows sit at
+     [100,140], [240,280], [380,420], ... — 399 ms lands inside one,
+     so that delta is guaranteed to see p2 < p1. *)
+  ignore (Engine.at engine (Simtime.of_ms 399.0) (fun () -> packets := 0));
+  let me =
+    Fastrak.Measurement_engine.create ~engine ~config:me_config ~name:"t"
+      ~poll:(fun () -> [ (f, !packets, !packets * 100) ])
+      ~classify:(fun flow ->
+        Some
+          ( Fkey.Pattern.src_aggregate flow,
+            {
+              Fastrak.Measurement_engine.tenant;
+              vm_ip = flow.Fkey.src_ip;
+              direction = `Outgoing;
+            } ))
+  in
+  let reports = ref [] in
+  Fastrak.Measurement_engine.on_report me (fun r -> reports := r :: !reports);
+  let resets = Obs.Metrics.counter "fastrak.me.counter_resets" in
+  let resets_before = Obs.Metrics.counter_value resets in
+  Fastrak.Measurement_engine.start me;
+  Engine.run ~until:(Simtime.of_sec 1.0) engine;
+  checkb "reset counted" true (Obs.Metrics.counter_value resets > resets_before);
+  checkb "reports emitted" true (!reports <> []);
+  List.iter
+    (fun (r : Fastrak.Measurement_engine.report) ->
+      List.iter
+        (fun (e : Fastrak.Measurement_engine.entry) ->
+          checkb "median_pps non-negative" true (e.median_pps >= 0.0);
+          checkb "median_bps non-negative" true (e.median_bps >= 0.0);
+          checkb "last_pps non-negative" true (e.last_pps >= 0.0))
+        r.Fastrak.Measurement_engine.entries)
+    !reports
 
 (* --- Demand profile --- *)
 
@@ -479,6 +649,8 @@ let suite =
     t "fps even on no demand" test_fps_no_demand_even_split;
     t "fps maxed grows" test_fps_maxed_grows;
     t "fps unlimited" test_fps_unlimited_total;
+    t "fps maxed with unlimited current" test_fps_maxed_unlimited_current;
+    QCheck_alcotest.to_alcotest prop_fps_split_finite;
     t "scoring formula" test_scoring;
     t "scoring mfu not elephant" test_scoring_mfu_not_elephant;
     t "decide ranks by score" test_decide_ranks_by_score;
@@ -489,8 +661,10 @@ let suite =
     t "decide keeps winners" test_decide_keeps_winners;
     t "decide demotes idle" test_decide_idle_offloaded_demoted;
     t "decide group all-or-none" test_decide_group_all_or_none;
+    t "decide matches list baseline" test_decide_matches_list_baseline;
     t "measurement engine pps" test_me_measures_pps;
     t "measurement engine idle flows" test_me_idle_flows_dropped_from_report;
+    t "measurement engine counter reset" test_me_counter_reset_clamped;
     t "demand profile update/clone" test_profile_update_and_clone;
     t "rule manager offloads hot flow" test_rule_manager_offloads_hot_flow;
     t "rule manager ignores cold flow" test_rule_manager_ignores_cold_flow;
