@@ -30,6 +30,9 @@ let experiments =
     ( "ablation",
       "Ablations, three sub-reports: scoring policy, TCAM budget sweep, \
        control-interval sweep" );
+    ( "chaos",
+      "Control plane under injected faults (lossy channels, retries, \
+       dead-peer demotion); schedule from --faults" );
   ]
 
 let run_one = function
@@ -60,6 +63,7 @@ let run_one = function
       Experiments.Paper_ref.print_table4 ();
       Experiments.Fastrak_eval.print (Experiments.Fastrak_eval.run ())
   | "fig12" -> Experiments.Migration_tcp.print (Experiments.Migration_tcp.run ())
+  | "chaos" -> Experiments.Chaos_eval.print (Experiments.Chaos_eval.run ())
   | "ablation" ->
       Experiments.Ablation.print_scoring (Experiments.Ablation.run_scoring ());
       Experiments.Ablation.print_tcam
@@ -120,6 +124,17 @@ let run_cmd =
              transitions, epoch ticks) to $(docv). One JSON object per \
              line, stamped with the sim clock; see docs/METRICS.md.")
   in
+  let faults =
+    Arg.(
+      value
+      & opt string "lossy"
+      & info [ "faults" ] ~docv:"SCHEDULE"
+          ~doc:
+            "Fault schedule for the $(b,chaos) experiment: a named profile \
+             ($(b,none), $(b,lossy), $(b,chaos), $(b,smoke)) or a spec like \
+             $(b,drop=0.05,dup=0.01,jitter_us=200,down=1.0:1.3). See \
+             docs/FAULTS.md.")
+  in
   let metrics_out =
     Arg.(
       value
@@ -132,8 +147,13 @@ let run_cmd =
   in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
-      const (fun scale trace metrics_out ids ->
+      const (fun scale trace faults metrics_out ids ->
           Experiments.Memcached_eval.requests_scale := scale;
+          (match Faults.Schedule.profile faults with
+          | Ok _ -> Experiments.Chaos_eval.schedule_spec := faults
+          | Error msg ->
+              Printf.eprintf "fastrak_sim: --faults: %s\n" msg;
+              Stdlib.exit 1);
           let open_out_or_die file =
             try open_out file
             with Sys_error msg ->
@@ -169,7 +189,7 @@ let run_cmd =
               else Experiments.Metric_snapshot.write_json oc;
               close_out oc
           | _ -> ())
-      $ scale $ trace $ metrics_out $ ids)
+      $ scale $ trace $ faults $ metrics_out $ ids)
 
 let () =
   let doc = "FasTrak (CoNEXT 2013) reproduction simulator" in

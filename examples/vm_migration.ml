@@ -51,23 +51,24 @@ let () =
   Experiments.Testbed.run_for tb ~seconds:1.0;
   Printf.printf "  before migration: %d aggregates offloaded\n"
     (Fastrak.Rule_manager.offloaded_count rm);
-  (* Step 1 (§4.1.2): return the VM's rules to the hypervisor. *)
-  let profile =
-    Fastrak.Rule_manager.prepare_vm_migration rm
+  (* Phase 1 (§4.1.2): return the VM's rules to the hypervisor and
+     detach its demand profile. An abort timer is armed — if the
+     destination never confirmed, the rules and profile would return
+     to the source automatically. *)
+  let mg =
+    Fastrak.Rule_manager.begin_vm_migration rm
       ~tenant:(Host.Vm.tenant vm.Host.Server.vm)
       ~vm_ip:(Host.Vm.ip vm.Host.Server.vm)
   in
   Experiments.Testbed.run_for tb ~seconds:0.05;
   Printf.printf "  rules returned for migration; profile has %d aggregates\n"
-    (match profile with
+    (match Fastrak.Rule_manager.migration_profile mg with
     | Some p -> Fastrak.Demand_profile.entry_count p
     | None -> 0);
-  (* Step 2: hand the demand profile to the destination's local
-     controller so the TOR DE can re-offload on arrival. *)
-  (match profile with
-  | Some p -> Fastrak.Rule_manager.complete_vm_migration rm ~profile:p ~new_server:"server2"
-  | None -> ());
-  print_endline "  profile adopted at destination server2";
+  (* Phase 2: the destination confirmed — hand the demand profile to
+     its local controller so the TOR DE can re-offload on arrival. *)
+  if Fastrak.Rule_manager.commit_vm_migration rm mg ~new_server:"server2" then
+    print_endline "  profile adopted at destination server2";
   (* The flow keeps running through software meanwhile, and FasTrak
      re-offloads it at the next control interval. *)
   Experiments.Testbed.run_for tb ~seconds:1.0;

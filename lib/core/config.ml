@@ -9,6 +9,10 @@ type t = {
   controller_latency : Simtime.span;
   max_offloads : int option;
   min_score : float;
+  directive_timeout : Simtime.span;
+  directive_attempts : int;
+  dead_peer_failures : int;
+  migration_timeout : Simtime.span;
 }
 
 let default =
@@ -21,6 +25,10 @@ let default =
     controller_latency = Simtime.span_us 200.0;
     max_offloads = None;
     min_score = 100.0;
+    directive_timeout = Simtime.span_ms 25.0;
+    directive_attempts = 5;
+    dead_peer_failures = 3;
+    migration_timeout = Simtime.span_sec 30.0;
   }
 
 let fast = { default with epoch_period = Simtime.span_sec 0.5 }

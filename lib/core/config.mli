@@ -20,11 +20,28 @@ type t = {
   min_score : float;
       (** Offload threshold: aggregates scoring below this never move
           to hardware (keeps trickle flows in software). *)
+  directive_timeout : Dcsim.Simtime.span;
+      (** How long the TOR controller waits for a directive's ack
+          before retransmitting. Doubles on each retry (exponential
+          backoff). *)
+  directive_attempts : int;
+      (** Transmissions per directive before it is declared failed
+          (1 original + [directive_attempts - 1] retries). *)
+  dead_peer_failures : int;
+      (** Consecutive failed directives after which a server's local
+          controller is declared dead and its offloaded flows are
+          demoted back to software. *)
+  migration_timeout : Dcsim.Simtime.span;
+      (** How long a begun VM migration may stay unconfirmed before the
+          rule manager aborts it and re-installs the returned rules at
+          the source. *)
 }
 
 val default : t
 (** t = 100 ms, T = 5 s, N = 2, M = 3, O = 50 Mb/s, 200 us channels,
-    no offload cap, min_score 100. *)
+    no offload cap, min_score 100; directive acks time out after 25 ms
+    with 5 attempts, 3 consecutive failures declare a peer dead, and an
+    unconfirmed migration aborts after 30 s. *)
 
 val fast : t
 (** The T = 0.5 s variant used in some experiments (§5.2). *)

@@ -6,7 +6,13 @@ type directive =
   | Offload of { vm_ip : Netcore.Ipv4.t; pattern : Fkey.Pattern.t }
   | Demote of { vm_ip : Netcore.Ipv4.t; pattern : Fkey.Pattern.t }
 
+type sequenced = { seq : int; directive : directive }
+
 type demand_report = { server : string; report : Measurement_engine.report }
+
+type uplink =
+  | Report of demand_report
+  | Ack of { server : string; seq : int }
 
 type offloaded = {
   off_vm_ip : Netcore.Ipv4.t;
@@ -34,10 +40,15 @@ type t = {
   config : Config.t;
   server : Host.Server.t;
   me : Measurement_engine.t;
-  mutable report_sink : demand_report -> unit;
+  mutable uplink_sink : uplink -> unit;
   mutable offloaded : offloaded list;
   profiles : (int, Demand_profile.t) Hashtbl.t;  (* vm ip -> profile *)
   rate_states : (int, vm_rate_state) Hashtbl.t;
+  (* Highest directive sequence number applied per aggregate. A lossy
+     channel can reorder or re-deliver directives; latest-seq-wins per
+     pattern makes application idempotent and keeps a stale directive
+     from overriding a newer decision for the same aggregate. *)
+  applied_seq : int Fkey.Pattern.Table.t;
 }
 
 let ip_key ip = Int32.to_int (Netcore.Ipv4.to_int32 ip)
@@ -78,10 +89,11 @@ let create ~engine ~config ~server =
       config;
       server;
       me;
-      report_sink = ignore;
+      uplink_sink = ignore;
       offloaded = [];
       profiles = Hashtbl.create 8;
       rate_states = Hashtbl.create 8;
+      applied_seq = Fkey.Pattern.Table.create 16;
     }
   in
   t
@@ -219,11 +231,11 @@ let start t =
             { report with entries = [ e ] })
         report.Measurement_engine.entries;
       apply_fps t;
-      t.report_sink { server = server_name t; report });
+      t.uplink_sink (Report { server = server_name t; report }));
   Measurement_engine.start t.me
 
 let stop t = Measurement_engine.stop t.me
-let set_report_sink t sink = t.report_sink <- sink
+let set_uplink t sink = t.uplink_sink <- sink
 
 let pattern_equal = Fkey.Pattern.equal
 
@@ -287,9 +299,33 @@ let handle_directive t = function
               (Obs.Trace.Path_transition
                  { vm_ip; pattern; path = Obs.Trace.Software }))
 
+let directive_pattern = function
+  | Offload { pattern; _ } | Demote { pattern; _ } -> pattern
+
+let handle_sequenced t { seq; directive } =
+  let pattern = directive_pattern directive in
+  let last =
+    Option.value (Fkey.Pattern.Table.find_opt t.applied_seq pattern) ~default:(-1)
+  in
+  if seq > last then begin
+    Fkey.Pattern.Table.replace t.applied_seq pattern seq;
+    handle_directive t directive
+  end;
+  (* Ack everything received, including stale re-deliveries: the sender
+     only needs to learn the directive arrived, and a lost earlier ack
+     must not wedge its retry loop. *)
+  t.uplink_sink (Ack { server = server_name t; seq })
+
 let offloaded_patterns t = List.map (fun o -> o.off_pattern) t.offloaded
 
 let profile t ~vm_ip = Hashtbl.find_opt t.profiles (ip_key vm_ip)
+
+let take_profile t ~vm_ip =
+  match Hashtbl.find_opt t.profiles (ip_key vm_ip) with
+  | Some p ->
+      Hashtbl.remove t.profiles (ip_key vm_ip);
+      Some p
+  | None -> None
 
 let adopt_profile t p =
   Hashtbl.replace t.profiles (ip_key (Demand_profile.vm_ip p)) p

@@ -14,12 +14,24 @@ type directive =
   | Offload of { vm_ip : Netcore.Ipv4.t; pattern : Netcore.Fkey.Pattern.t }
   | Demote of { vm_ip : Netcore.Ipv4.t; pattern : Netcore.Fkey.Pattern.t }
 
+type sequenced = { seq : int; directive : directive }
+(** A directive stamped with the TOR controller's per-rack sequence
+    number. The channel may drop, duplicate or reorder sequenced
+    directives; {!handle_sequenced} applies latest-seq-wins per
+    aggregate and acks every delivery, so re-transmission is safe. *)
+
 type demand_report = {
   server : string;
   report : Measurement_engine.report;
 }
 (** One control interval's measurements, tagged with the reporting
     server's name so the TOR controller can attribute them. *)
+
+(** Everything a local controller sends up to the TOR controller on the
+    report channel: periodic demand reports and directive acks. *)
+type uplink =
+  | Report of demand_report
+  | Ack of { server : string; seq : int }
 
 type t
 
@@ -40,14 +52,23 @@ val start : t -> unit
 val stop : t -> unit
 (** Halt the measurement engine; pending epochs are abandoned. *)
 
-val set_report_sink : t -> (demand_report -> unit) -> unit
-(** Where control-interval reports go (the TOR controller's channel). *)
+val set_uplink : t -> (uplink -> unit) -> unit
+(** Where uplink traffic — control-interval reports and directive acks
+    — goes (the TOR controller's report channel). *)
 
 val handle_directive : t -> directive -> unit
 (** Apply an offload/demote decision: update the flow placer, block or
     unblock the flow's software path (in-flight vswitch packets of a
     freshly offloaded flow are lost — the §6.2.2 effect), and
-    recompute the FPS split for the affected VM. *)
+    recompute the FPS split for the affected VM. Idempotent: applying
+    the same directive twice is a no-op. *)
+
+val handle_sequenced : t -> sequenced -> unit
+(** Apply a sequenced directive from the (possibly lossy) channel. The
+    directive is applied only if its [seq] exceeds the highest already
+    applied for the same aggregate — so duplicates are no-ops and a
+    reordered stale directive never overrides a newer decision — and an
+    [Ack] is always sent on the uplink, even for stale deliveries. *)
 
 val offloaded_patterns : t -> Netcore.Fkey.Pattern.t list
 (** Aggregates this server's flow placers currently steer to the VF
@@ -55,6 +76,12 @@ val offloaded_patterns : t -> Netcore.Fkey.Pattern.t list
 
 val profile : t -> vm_ip:Netcore.Ipv4.t -> Demand_profile.t option
 (** The demand profile accumulated for a resident VM. *)
+
+val take_profile : t -> vm_ip:Netcore.Ipv4.t -> Demand_profile.t option
+(** Detach and return a VM's demand profile — the prepare half of VM
+    migration ("the profile is migrated along with the VM"). The
+    profile is removed here; {!adopt_profile} re-installs it at the
+    destination (commit) or back here (abort). *)
 
 val adopt_profile : t -> Demand_profile.t -> unit
 (** Install a migrated-in VM's profile (S4). *)

@@ -1,6 +1,7 @@
 module Engine = Dcsim.Engine
 
 let m_vm_migrations = Obs.Metrics.counter "fastrak.vm_migrations"
+let m_migration_aborts = Obs.Metrics.counter "fastrak.migration_aborts"
 
 type t = {
   engine : Engine.t;
@@ -9,7 +10,18 @@ type t = {
   locals : (string * Local_controller.t) list;
 }
 
-let create ~engine ~config ~tor ~servers ?tenant_priority ?group_of () =
+type migration_state = [ `Preparing | `Committed | `Aborted ]
+
+type migration = {
+  mg_vm_ip : Netcore.Ipv4.t;
+  mg_source : string option;
+  mg_profile : Demand_profile.t option;
+  mg_returned : Tor_controller.returned_rule list;
+  mutable mg_state : migration_state;
+  mutable mg_timer : Engine.handle option;
+}
+
+let create ~engine ~config ~tor ~servers ?tenant_priority ?group_of ?faults () =
   let lookup_vm ~tenant ~vm_ip =
     ignore tenant;
     List.find_map
@@ -23,22 +35,45 @@ let create ~engine ~config ~tor ~servers ?tenant_priority ?group_of () =
     Tor_controller.create ~engine ~config ~tor ~lookup_vm ?tenant_priority
       ?group_of ()
   in
+  (* Each control channel gets its own injector on a decorrelated RNG
+     stream, so one channel's draws never perturb another's. A [None]
+     or all-zero schedule builds no injector at all: the channels take
+     the historical reliable path and the run is byte-identical to one
+     without the fault machinery. *)
+  let injector label =
+    match faults with
+    | Some sched when not (Faults.Schedule.is_none sched) ->
+        Some
+          (Faults.Injector.create ~schedule:sched
+             ~rng:(Dcsim.Rng.split (Engine.rng engine) ("faults." ^ label)))
+    | _ -> None
+  in
   let locals =
     List.map
       (fun server ->
         let local = Local_controller.create ~engine ~config ~server in
         let name = Host.Server.name server in
-        (* Uplink: demand reports to the TOR controller. *)
-        let report_channel =
-          Openflow.Channel.create ~engine ~latency:config.Config.controller_latency
-            ~handler:(fun r -> Tor_controller.receive_report tor_ctrl r)
+        (* Uplink: demand reports and directive acks to the TOR
+           controller. *)
+        let uplink_name = name ^ ".uplink" in
+        let uplink_channel =
+          Openflow.Channel.create ~name:uplink_name
+            ?faults:(injector uplink_name) ~engine
+            ~latency:config.Config.controller_latency
+            ~handler:(fun u -> Tor_controller.receive_uplink tor_ctrl u)
+            ()
         in
-        Local_controller.set_report_sink local (fun r ->
-            Openflow.Channel.send report_channel r);
-        (* Downlink: offload/demote directives to the local controller. *)
+        Local_controller.set_uplink local (fun u ->
+            Openflow.Channel.send uplink_channel u);
+        (* Downlink: sequenced offload/demote directives to the local
+           controller. *)
+        let directive_name = name ^ ".directive" in
         let directive_channel =
-          Openflow.Channel.create ~engine ~latency:config.Config.controller_latency
-            ~handler:(fun d -> Local_controller.handle_directive local d)
+          Openflow.Channel.create ~name:directive_name
+            ?faults:(injector directive_name) ~engine
+            ~latency:config.Config.controller_latency
+            ~handler:(fun d -> Local_controller.handle_sequenced local d)
+            ()
         in
         Tor_controller.register_local tor_ctrl ~name ~directive_channel;
         (name, local))
@@ -58,13 +93,89 @@ let tor_controller t = t.tor_ctrl
 let local_controller t ~server = List.assoc_opt server t.locals
 let offloaded_count t = Tor_controller.offloaded_count t.tor_ctrl
 
-let prepare_vm_migration t ~tenant ~vm_ip =
+(* --- Two-phase VM migration ---
+
+   Prepare returns the VM's offloaded rules to its hypervisor and
+   detaches its demand profile; commit adopts the profile at the
+   destination. If nobody commits within [migration_timeout] — the
+   destination host never confirmed — the migration aborts: the profile
+   goes back to the source local controller and the returned rules are
+   re-installed, so an unconfirmed migration costs at most a temporary
+   trip through the software path. *)
+
+let emit_stage t mg stage =
+  if Obs.Trace.enabled () then
+    Obs.Trace.emit ~now:(Engine.now t.engine)
+      (Obs.Trace.Migration_stage { vm_ip = mg.mg_vm_ip; stage })
+
+let cancel_timer t mg =
+  match mg.mg_timer with
+  | Some h ->
+      ignore (Engine.cancel t.engine h);
+      mg.mg_timer <- None
+  | None -> ()
+
+let abort_vm_migration t mg =
+  if mg.mg_state = `Preparing then begin
+    mg.mg_state <- `Aborted;
+    cancel_timer t mg;
+    Obs.Metrics.incr m_migration_aborts;
+    emit_stage t mg `Abort;
+    (match (mg.mg_source, mg.mg_profile) with
+    | Some source, Some profile -> (
+        match List.assoc_opt source t.locals with
+        | Some local -> Local_controller.adopt_profile local profile
+        | None -> ())
+    | _ -> ());
+    Tor_controller.reinstall t.tor_ctrl mg.mg_returned
+  end
+
+let begin_vm_migration t ~tenant ~vm_ip =
   ignore tenant;
   Obs.Metrics.incr m_vm_migrations;
-  Tor_controller.demote_all_for_vm t.tor_ctrl ~vm_ip;
-  List.find_map (fun (_, local) -> Local_controller.profile local ~vm_ip) t.locals
+  let returned = Tor_controller.demote_all_for_vm t.tor_ctrl ~vm_ip in
+  let source, profile =
+    match
+      List.find_opt
+        (fun (_, local) -> Local_controller.profile local ~vm_ip <> None)
+        t.locals
+    with
+    | Some (name, local) ->
+        (Some name, Local_controller.take_profile local ~vm_ip)
+    | None -> (None, None)
+  in
+  let mg =
+    {
+      mg_vm_ip = vm_ip;
+      mg_source = source;
+      mg_profile = profile;
+      mg_returned = returned;
+      mg_state = `Preparing;
+      mg_timer = None;
+    }
+  in
+  emit_stage t mg `Prepare;
+  mg.mg_timer <-
+    Some
+      (Engine.after t.engine t.config.Config.migration_timeout (fun () ->
+           mg.mg_timer <- None;
+           abort_vm_migration t mg));
+  mg
 
-let complete_vm_migration t ~profile ~new_server =
+let commit_vm_migration t mg ~new_server =
   match List.assoc_opt new_server t.locals with
-  | Some local -> Local_controller.adopt_profile local profile
   | None -> invalid_arg ("Rule_manager: unknown server " ^ new_server)
+  | Some local ->
+      if mg.mg_state <> `Preparing then false
+      else begin
+        mg.mg_state <- `Committed;
+        cancel_timer t mg;
+        emit_stage t mg `Commit;
+        (match mg.mg_profile with
+        | Some profile -> Local_controller.adopt_profile local profile
+        | None -> ());
+        true
+      end
+
+let migration_state mg = mg.mg_state
+let migration_profile mg = mg.mg_profile

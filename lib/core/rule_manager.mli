@@ -16,13 +16,22 @@ val create :
   servers:Host.Server.t list ->
   ?tenant_priority:(Netcore.Tenant.id -> float) ->
   ?group_of:(Netcore.Fkey.Pattern.t -> int option) ->
+  ?faults:Faults.Schedule.t ->
   unit ->
   t
 (** Build the whole control plane for one rack: a local controller per
     server in [servers], the TOR controller, and the latency-bearing
     report/directive channels between them. [tenant_priority] is the
     per-tenant weight c in S = n x m_pps x c; [group_of] assigns
-    patterns to all-or-none offload groups. *)
+    patterns to all-or-none offload groups.
+
+    [faults], when given and not {!Faults.Schedule.is_none}, puts every
+    control channel in unreliable mode with its own decorrelated RNG
+    stream (split from the engine's RNG). The sequence-numbered
+    ack/retry protocol between the controllers then keeps the TOR-side
+    and server-side rule views convergent despite drops, duplicates and
+    reordering. Omitted or all-zero, the channels are reliable and the
+    run is byte-identical to a fault-free build. *)
 
 val start : t -> unit
 (** Start every local controller and the TOR decision loop. *)
@@ -40,13 +49,40 @@ val offloaded_count : t -> int
 (** Number of aggregates currently offloaded rack-wide (the TOR
     controller's count). *)
 
-val prepare_vm_migration :
-  t -> tenant:Netcore.Tenant.id -> vm_ip:Netcore.Ipv4.t -> Demand_profile.t option
-(** Pre-migration step (§4.1.2): every offloaded flow of the VM is
-    returned to the hypervisor, and the VM's demand profile — which
-    "is migrated along with the VM" — is handed back for transfer. *)
+(** {1 Two-phase VM migration}
 
-val complete_vm_migration :
-  t -> profile:Demand_profile.t -> new_server:string -> unit
-(** Post-migration step: adopt the profile at the destination's local
-    controller so the TOR controller can re-offload immediately. *)
+    Migration is prepare/commit with an explicit abort path. Prepare
+    (§4.1.2) returns every offloaded flow of the VM to its hypervisor
+    and detaches the demand profile that "is migrated along with the
+    VM"; commit adopts the profile at the destination. A migration left
+    unconfirmed for {!Config.t.migration_timeout} aborts automatically:
+    the profile returns to the source local controller and the returned
+    rules are re-installed, so no demand history is ever lost to a
+    failed migration. *)
+
+type migration
+(** An in-flight migration token, from {!begin_vm_migration} until
+    commit or abort. *)
+
+type migration_state = [ `Preparing | `Committed | `Aborted ]
+
+val begin_vm_migration :
+  t -> tenant:Netcore.Tenant.id -> vm_ip:Netcore.Ipv4.t -> migration
+(** Phase one: demote the VM's offloaded flows, detach its profile, and
+    arm the abort timer. *)
+
+val commit_vm_migration : t -> migration -> new_server:string -> bool
+(** Phase two: adopt the profile at [new_server]'s local controller so
+    the TOR controller can re-offload immediately. Returns [false] —
+    and changes nothing — if the migration already aborted (or was
+    committed before).
+    @raise Invalid_argument if [new_server] is unknown. *)
+
+val abort_vm_migration : t -> migration -> unit
+(** Explicitly abort a preparing migration (also run automatically when
+    the timeout expires). Idempotent; a no-op after commit. *)
+
+val migration_state : migration -> migration_state
+val migration_profile : migration -> Demand_profile.t option
+(** The detached demand profile riding the migration, for tests and
+    experiments. *)

@@ -2,6 +2,8 @@ module Simtime = Dcsim.Simtime
 module Engine = Dcsim.Engine
 module Fkey = Netcore.Fkey
 
+type install_status = Pending | Installed | Failed
+
 type offload_state = {
   os_pattern : Fkey.Pattern.t;
   os_tenant : Netcore.Tenant.id;
@@ -10,10 +12,45 @@ type offload_state = {
   os_handle : Tor.Vrf.handle;
   os_entries : int;
   mutable os_score : float;
+  (* Install state machine: [Pending] until the local controller acks
+     the offload directive, then [Installed]; [Failed] when retries are
+     exhausted, which triggers a TOR-side rollback. *)
+  mutable os_status : install_status;
+}
+
+(* One directive awaiting its ack. *)
+type pending = {
+  p_directive : Local_controller.directive;
+  mutable p_attempt : int;  (* transmissions so far, >= 1 *)
+  mutable p_timer : Engine.handle option;
+  p_on_result : [ `Acked | `Failed ] -> unit;
+}
+
+(* A demote whose retries were exhausted: the local controller may
+   still be steering the aggregate to the VF even though the VRF rules
+   are gone. Replayed (with its ORIGINAL sequence number, so it can
+   never override a newer directive) on every subsequent contact with
+   the peer until acked. *)
+type unreconciled = {
+  u_seq : int;
+  u_directive : Local_controller.directive;
+  mutable u_inflight : bool;
+}
+
+type peer = {
+  peer_name : string;
+  chan : Local_controller.sequenced Openflow.Channel.t;
+  p_pending : (int, pending) Hashtbl.t;  (* seq -> awaiting ack *)
+  mutable alive : bool;
+  mutable consecutive_failures : int;
+  mutable unreconciled : unreconciled list;
 }
 
 let m_promotions = Obs.Metrics.counter "fastrak.promotions"
 let m_demotions = Obs.Metrics.counter "fastrak.demotions"
+let m_retries = Obs.Metrics.counter "fastrak.directive_retries"
+let m_failures = Obs.Metrics.counter "fastrak.directive_failures"
+let m_peer_deaths = Obs.Metrics.counter "fastrak.peer_deaths"
 let m_offloaded_current = Obs.Metrics.gauge "fastrak.offloaded_current"
 let m_offload_score = Obs.Metrics.summary "fastrak.offload.score"
 
@@ -28,8 +65,8 @@ type t = {
   tenant_priority : Netcore.Tenant.id -> float;
   group_of : Fkey.Pattern.t -> int option;
   tor_me : Measurement_engine.t;
-  mutable locals :
-    (string * Local_controller.directive Openflow.Channel.t) list;
+  mutable locals : (string * peer) list;
+  mutable next_seq : int;
   latest_reports : (string, Measurement_engine.report) Hashtbl.t;
   mutable latest_tor_report : Measurement_engine.report option;
   mutable offloaded : offload_state list;
@@ -75,6 +112,7 @@ let create ~engine ~config ~tor ~lookup_vm ?(tenant_priority = fun _ -> 1.0)
       group_of;
       tor_me;
       locals = [];
+      next_seq = 0;
       latest_reports = Hashtbl.create 8;
       latest_tor_report = None;
       offloaded = [];
@@ -91,10 +129,17 @@ let create ~engine ~config ~tor ~lookup_vm ?(tenant_priority = fun _ -> 1.0)
   t
 
 let register_local t ~name ~directive_channel =
-  t.locals <- (name, directive_channel) :: t.locals
-
-let receive_report t (r : Local_controller.demand_report) =
-  Hashtbl.replace t.latest_reports r.Local_controller.server r.report
+  let peer =
+    {
+      peer_name = name;
+      chan = directive_channel;
+      p_pending = Hashtbl.create 8;
+      alive = true;
+      consecutive_failures = 0;
+      unreconciled = [];
+    }
+  in
+  t.locals <- (name, peer) :: t.locals
 
 let entry_score t (e : Measurement_engine.entry) =
   Scoring.score ~epochs_active:e.epochs_active ~median_pps:e.median_pps
@@ -169,7 +214,145 @@ let build_candidates t =
     t.offloaded;
   (table, server_of)
 
-let directive_channel t server = List.assoc_opt server t.locals
+let peer_of t server = List.assoc_opt server t.locals
+
+let grace_before_vrf_removal t =
+  Simtime.span_add
+    (Simtime.span_scale 2.0 t.config.Config.controller_latency)
+    (Simtime.span_ms 10.0)
+
+let transmit peer ~seq directive =
+  Openflow.Channel.send peer.chan { Local_controller.seq; directive }
+
+(* --- Acknowledged directive delivery ---
+
+   Every directive carries a rack-wide sequence number and stays
+   pending until the local controller acks it on the uplink. A pending
+   directive is retransmitted on timeout with exponential backoff;
+   after [directive_attempts] transmissions it is declared failed,
+   which feeds the dead-peer detector and the caller's rollback logic.
+   The functions below are mutually recursive because a failure can
+   demote flows (mark_dead -> apply_demote) and demoting sends another
+   acknowledged directive. *)
+
+let rec send_directive t peer directive ~on_result =
+  let seq = t.next_seq in
+  t.next_seq <- t.next_seq + 1;
+  send_with_seq t peer ~seq directive ~on_result
+
+and send_with_seq t peer ~seq directive ~on_result =
+  let p =
+    { p_directive = directive; p_attempt = 1; p_timer = None; p_on_result = on_result }
+  in
+  Hashtbl.replace peer.p_pending seq p;
+  transmit peer ~seq directive;
+  arm_retry t peer ~seq p
+
+and arm_retry t peer ~seq p =
+  (* Backoff doubles per transmission: timeout, 2x, 4x, ... *)
+  let timeout =
+    Simtime.span_scale
+      (float_of_int (1 lsl (p.p_attempt - 1)))
+      t.config.Config.directive_timeout
+  in
+  p.p_timer <- Some (Engine.after t.engine timeout (fun () -> on_timeout t peer ~seq p))
+
+and on_timeout t peer ~seq p =
+  p.p_timer <- None;
+  if not (Hashtbl.mem peer.p_pending seq) then ()
+  else if p.p_attempt >= t.config.Config.directive_attempts then begin
+    Hashtbl.remove peer.p_pending seq;
+    (* A lost demote means the local placer may still steer the
+       aggregate to the VF after its VRF rules are gone. Keep replaying
+       it (original seq) on every future contact until acked. *)
+    (match p.p_directive with
+    | Local_controller.Demote _ -> (
+        match List.find_opt (fun u -> u.u_seq = seq) peer.unreconciled with
+        | Some u -> u.u_inflight <- false
+        | None ->
+            peer.unreconciled <-
+              { u_seq = seq; u_directive = p.p_directive; u_inflight = false }
+              :: peer.unreconciled)
+    | Local_controller.Offload _ -> ());
+    Obs.Metrics.incr m_failures;
+    peer.consecutive_failures <- peer.consecutive_failures + 1;
+    if peer.alive && peer.consecutive_failures >= t.config.Config.dead_peer_failures
+    then mark_dead t peer;
+    p.p_on_result `Failed
+  end
+  else begin
+    p.p_attempt <- p.p_attempt + 1;
+    Obs.Metrics.incr m_retries;
+    if Obs.Trace.enabled () then
+      Obs.Trace.emit ~now:(Engine.now t.engine)
+        (Obs.Trace.Ctrl_retry
+           { server = peer.peer_name; seq; attempt = p.p_attempt });
+    transmit peer ~seq p.p_directive;
+    arm_retry t peer ~seq p
+  end
+
+and mark_dead t peer =
+  if peer.alive then begin
+    peer.alive <- false;
+    Obs.Metrics.incr m_peer_deaths;
+    if Obs.Trace.enabled () then
+      Obs.Trace.emit ~now:(Engine.now t.engine)
+        (Obs.Trace.Peer_state { server = peer.peer_name; alive = false });
+    (* Graceful degradation: with no controller acking on that server,
+       hardware rules can no longer be trusted to match the placer
+       state. Demote everything it owns back to software — slower, but
+       never silently divergent. *)
+    let mine =
+      List.filter (fun os -> String.equal os.os_server peer.peer_name) t.offloaded
+    in
+    List.iter (fun os -> apply_demote t os ~reason:"peer_dead") mine
+  end
+
+and apply_demote t os ~reason =
+  t.offloaded <- List.filter (fun x -> x != os) t.offloaded;
+  Obs.Metrics.incr m_demotions;
+  Obs.Metrics.set_gauge m_offloaded_current
+    (float_of_int (List.length t.offloaded));
+  if Obs.Trace.enabled () then
+    Obs.Trace.emit ~now:(Engine.now t.engine)
+      (Obs.Trace.Flow_demoted
+         {
+           pattern = os.os_pattern;
+           tenant = os.os_tenant;
+           vm_ip = os.os_vm_ip;
+           server = os.os_server;
+           reason;
+         });
+  (* Break-after-make in reverse: the hardware rules survive until BOTH
+     the grace period has passed (placer had time to redirect) AND the
+     demote directive has resolved (acked, or retries exhausted). On a
+     reliable channel the ack arrives at 2 x latency, well inside the
+     grace period, so removal fires at exactly the grace instant — the
+     same schedule as a build without the ack protocol. *)
+  let vrf = Tor.Tor_switch.vrf t.tor os.os_tenant in
+  let grace_passed = ref false and resolved = ref false and removed = ref false in
+  let try_remove () =
+    if !grace_passed && !resolved && not !removed then begin
+      removed := true;
+      Tor.Vrf.remove vrf os.os_handle
+    end
+  in
+  (match peer_of t os.os_server with
+  | Some peer ->
+      if Obs.Trace.enabled () then
+        Obs.Trace.emit ~now:(Engine.now t.engine)
+          (Obs.Trace.Rule_pushed
+             { server = os.os_server; pattern = os.os_pattern; push = `Demote });
+      send_directive t peer
+        (Local_controller.Demote { vm_ip = os.os_vm_ip; pattern = os.os_pattern })
+        ~on_result:(fun _ ->
+          resolved := true;
+          try_remove ())
+  | None -> resolved := true);
+  ignore
+    (Engine.after t.engine (grace_before_vrf_removal t) (fun () ->
+         grace_passed := true;
+         try_remove ()))
 
 let apply_offload t (c : Decision_engine.candidate) ~server =
   match t.lookup_vm ~tenant:c.Decision_engine.tenant ~vm_ip:c.vm_ip with
@@ -197,11 +380,12 @@ let apply_offload t (c : Decision_engine.candidate) ~server =
                   os_handle = handle;
                   os_entries = compiled.Rules.Rule_compiler.tcam_entries;
                   os_score = c.score;
+                  os_status = Pending;
                 }
               in
-              match directive_channel t server with
+              match peer_of t server with
               | None -> Tor.Vrf.remove vrf handle
-              | Some chan ->
+              | Some peer ->
                   t.offloaded <- state :: t.offloaded;
                   Obs.Metrics.incr m_promotions;
                   Obs.Metrics.set_gauge m_offloaded_current
@@ -225,44 +409,67 @@ let apply_offload t (c : Decision_engine.candidate) ~server =
                   end;
                   (* Make-before-break: VRF rules are live before the
                      flow placer redirects the first packet. *)
-                  Openflow.Channel.send chan
-                    (Local_controller.Offload { vm_ip = c.vm_ip; pattern = c.pattern }))))
+                  send_directive t peer
+                    (Local_controller.Offload { vm_ip = c.vm_ip; pattern = c.pattern })
+                    ~on_result:(function
+                      | `Acked -> state.os_status <- Installed
+                      | `Failed ->
+                          state.os_status <- Failed;
+                          (* Rollback: the placer never confirmed the
+                             redirect, so reclaim the TCAM entries. The
+                             demote below doubles as reconciliation in
+                             case the offload DID land and only the
+                             acks were lost. *)
+                          if List.memq state t.offloaded then
+                            apply_demote t state ~reason:"install_failed"))))
 
-let grace_before_vrf_removal t =
-  Simtime.span_add
-    (Simtime.span_scale 2.0 t.config.Config.controller_latency)
-    (Simtime.span_ms 10.0)
+(* Contact bookkeeping: any uplink traffic from a peer proves its local
+   controller is alive, resets the failure streak, and is an occasion
+   to replay unreconciled demotes. *)
+let note_contact t peer =
+  peer.consecutive_failures <- 0;
+  if not peer.alive then begin
+    peer.alive <- true;
+    if Obs.Trace.enabled () then
+      Obs.Trace.emit ~now:(Engine.now t.engine)
+        (Obs.Trace.Peer_state { server = peer.peer_name; alive = true })
+  end;
+  List.iter
+    (fun u ->
+      if not u.u_inflight then begin
+        u.u_inflight <- true;
+        send_with_seq t peer ~seq:u.u_seq u.u_directive ~on_result:(fun _ -> ())
+      end)
+    peer.unreconciled
 
-let apply_demote t os ~reason =
-  t.offloaded <- List.filter (fun x -> x != os) t.offloaded;
-  Obs.Metrics.incr m_demotions;
-  Obs.Metrics.set_gauge m_offloaded_current
-    (float_of_int (List.length t.offloaded));
-  if Obs.Trace.enabled () then
-    Obs.Trace.emit ~now:(Engine.now t.engine)
-      (Obs.Trace.Flow_demoted
-         {
-           pattern = os.os_pattern;
-           tenant = os.os_tenant;
-           vm_ip = os.os_vm_ip;
-           server = os.os_server;
-           reason;
-         });
-  (match directive_channel t os.os_server with
-  | Some chan ->
-      if Obs.Trace.enabled () then
-        Obs.Trace.emit ~now:(Engine.now t.engine)
-          (Obs.Trace.Rule_pushed
-             { server = os.os_server; pattern = os.os_pattern; push = `Demote });
-      Openflow.Channel.send chan
-        (Local_controller.Demote { vm_ip = os.os_vm_ip; pattern = os.os_pattern })
-  | None -> ());
-  (* Break-after-make in reverse: give the placer time to move the flow
-     back to software before the hardware rules disappear. *)
-  let vrf = Tor.Tor_switch.vrf t.tor os.os_tenant in
-  ignore
-    (Engine.after t.engine (grace_before_vrf_removal t) (fun () ->
-         Tor.Vrf.remove vrf os.os_handle))
+let handle_ack t ~server ~seq =
+  match peer_of t server with
+  | None -> ()
+  | Some peer ->
+      (match Hashtbl.find_opt peer.p_pending seq with
+      | Some p ->
+          (match p.p_timer with
+          | Some h ->
+              ignore (Engine.cancel t.engine h);
+              p.p_timer <- None
+          | None -> ());
+          Hashtbl.remove peer.p_pending seq;
+          peer.unreconciled <-
+            List.filter (fun u -> u.u_seq <> seq) peer.unreconciled;
+          p.p_on_result `Acked
+      | None ->
+          (* Duplicate ack of something already resolved. *)
+          peer.unreconciled <-
+            List.filter (fun u -> u.u_seq <> seq) peer.unreconciled);
+      note_contact t peer
+
+let receive_uplink t = function
+  | Local_controller.Report (r : Local_controller.demand_report) ->
+      Hashtbl.replace t.latest_reports r.Local_controller.server r.report;
+      (match peer_of t r.Local_controller.server with
+      | Some peer -> note_contact t peer
+      | None -> ())
+  | Local_controller.Ack { server; seq } -> handle_ack t ~server ~seq
 
 let run_decision t =
   t.decisions <- t.decisions + 1;
@@ -340,10 +547,64 @@ let stop t =
 
 let offloaded_count t = List.length t.offloaded
 let offloaded_patterns t = List.map (fun os -> os.os_pattern) t.offloaded
+
+let pending_installs t =
+  List.length (List.filter (fun os -> os.os_status = Pending) t.offloaded)
+
 let decisions_made t = t.decisions
+
+let peer_alive t ~server =
+  Option.map (fun peer -> peer.alive) (peer_of t server)
+
+let unacked_directives t =
+  List.fold_left
+    (fun acc (_, peer) ->
+      acc + Hashtbl.length peer.p_pending + List.length peer.unreconciled)
+    0 t.locals
+
+type returned_rule = {
+  rr_pattern : Fkey.Pattern.t;
+  rr_tenant : Netcore.Tenant.id;
+  rr_vm_ip : Netcore.Ipv4.t;
+  rr_server : string;
+  rr_score : float;
+}
 
 let demote_all_for_vm t ~vm_ip =
   let mine, _rest =
     List.partition (fun os -> Netcore.Ipv4.equal os.os_vm_ip vm_ip) t.offloaded
   in
-  List.iter (fun os -> apply_demote t os ~reason:"vm_migration") mine
+  List.iter (fun os -> apply_demote t os ~reason:"vm_migration") mine;
+  List.map
+    (fun os ->
+      {
+        rr_pattern = os.os_pattern;
+        rr_tenant = os.os_tenant;
+        rr_vm_ip = os.os_vm_ip;
+        rr_server = os.os_server;
+        rr_score = os.os_score;
+      })
+    mine
+
+let reinstall t rules =
+  List.iter
+    (fun rr ->
+      (* Skip aggregates the decision loop re-offloaded on its own in
+         the meantime: reinstalling would double the TCAM entries. *)
+      if
+        not
+          (List.exists
+             (fun os -> Fkey.Pattern.equal os.os_pattern rr.rr_pattern)
+             t.offloaded)
+      then
+        apply_offload t
+          {
+            Decision_engine.pattern = rr.rr_pattern;
+            tenant = rr.rr_tenant;
+            vm_ip = rr.rr_vm_ip;
+            score = rr.rr_score;
+            tcam_entries = 0;
+            group = t.group_of rr.rr_pattern;
+          }
+          ~server:rr.rr_server)
+    rules

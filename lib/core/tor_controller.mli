@@ -31,15 +31,20 @@ val create :
 val register_local :
   t ->
   name:string ->
-  directive_channel:Local_controller.directive Openflow.Channel.t ->
+  directive_channel:Local_controller.sequenced Openflow.Channel.t ->
   unit
-(** Wire the downlink to a local controller. The uplink is the channel
-    the rule manager creates whose handler is {!receive_report}. *)
+(** Wire the downlink to a local controller. Directives sent on it are
+    sequence-numbered and retransmitted with exponential backoff until
+    acked (or {!Config.t.directive_attempts} transmissions fail). The
+    uplink is the channel the rule manager creates whose handler is
+    {!receive_uplink}. *)
 
-val receive_report : t -> Local_controller.demand_report -> unit
-(** Ingest one server's control-interval report, replacing that
-    server's previous one. The next decision tick reads the latest
-    report from every server. *)
+val receive_uplink : t -> Local_controller.uplink -> unit
+(** Ingest one message from a server's uplink channel. A [Report]
+    replaces that server's previous report (the next decision tick
+    reads the latest from every server); an [Ack] resolves a pending
+    directive. Either kind counts as proof of life for the dead-peer
+    detector and triggers replay of unreconciled demotes. *)
 
 val start : t -> unit
 (** Start the TOR ME and the per-control-interval decision loop. *)
@@ -53,9 +58,35 @@ val offloaded_count : t -> int
 val offloaded_patterns : t -> Netcore.Fkey.Pattern.t list
 (** The installed aggregates' patterns, newest offload first. *)
 
+val pending_installs : t -> int
+(** Offloaded aggregates whose install state machine is still
+    [Pending] (directive sent, ack not yet received). *)
+
 val decisions_made : t -> int
 (** Decision ticks run since {!start} (one per control interval). *)
 
-val demote_all_for_vm : t -> vm_ip:Netcore.Ipv4.t -> unit
-(** Synchronously return every offloaded rule of one VM to its
-    hypervisor — the pre-VM-migration step (§4.1.2). *)
+val peer_alive : t -> server:string -> bool option
+(** The dead-peer detector's current verdict on a server's local
+    controller ([None] if the server is unknown). A peer is declared
+    dead after {!Config.t.dead_peer_failures} consecutive failed
+    directives, demoting all its offloaded flows; any uplink contact
+    revives it. *)
+
+val unacked_directives : t -> int
+(** Directives not yet confirmed by their local controller: pending
+    (in retry) plus unreconciled (exhausted demotes awaiting replay).
+    Zero once the control plane has converged. *)
+
+type returned_rule
+(** An offloaded aggregate that was returned to the hypervisor by
+    {!demote_all_for_vm}, with everything needed to re-install it. *)
+
+val demote_all_for_vm : t -> vm_ip:Netcore.Ipv4.t -> returned_rule list
+(** Return every offloaded rule of one VM to its hypervisor — the
+    pre-VM-migration step (§4.1.2) — and describe what was returned so
+    an aborted migration can re-install it via {!reinstall}. *)
+
+val reinstall : t -> returned_rule list -> unit
+(** Re-offload aggregates previously returned by {!demote_all_for_vm}
+    (the VM-migration abort path). Aggregates the decision loop already
+    re-offloaded by itself are skipped. *)

@@ -1,0 +1,141 @@
+module Simtime = Dcsim.Simtime
+module Fkey = Netcore.Fkey
+
+let schedule_spec = ref "lossy"
+
+type result = {
+  schedule : string;
+  run_seconds : float;
+  drain_seconds : float;
+  drops : int;
+  dups : int;
+  reorders : int;
+  retries : int;
+  failures : int;
+  peer_deaths : int;
+  promotions : int;
+  demotions : int;
+  tor_offloaded : Fkey.Pattern.t list;
+  local_offloaded : Fkey.Pattern.t list;
+  unacked : int;
+  reconciled : bool;
+}
+
+let counter name =
+  match Obs.Metrics.find name with
+  | Some (Obs.Metrics.Counter_v n) -> n
+  | _ -> 0
+
+let pattern_set_equal a b =
+  let subset xs ys =
+    List.for_all (fun x -> List.exists (Fkey.Pattern.equal x) ys) xs
+  in
+  subset a b && subset b a
+
+let run ?(schedule = !schedule_spec) ?(seconds = 4.0) ?(drain = 3.0) () =
+  let sched =
+    match Faults.Schedule.profile schedule with
+    | Ok s -> s
+    | Error msg -> invalid_arg ("chaos: bad fault schedule: " ^ msg)
+  in
+  let tb = Testbed.create ~server_count:3 () in
+  let client_vm =
+    Testbed.add_vm tb (Testbed.vm_spec ~server:0 ~name:"chaos-c" ~ip_last_octet:1 ())
+  in
+  let server_vm =
+    Testbed.add_vm tb (Testbed.vm_spec ~server:1 ~name:"chaos-s" ~ip_last_octet:2 ())
+  in
+  Testbed.connect_tunnels tb;
+  Workloads.Transactions.Server.install ~vm:server_vm.Host.Server.vm ~port:9000
+    ~response_size:64 ();
+  let client =
+    Workloads.Transactions.Client.start ~engine:tb.Testbed.engine
+      ~vm:client_vm.Host.Server.vm
+      {
+        Workloads.Transactions.Client.servers =
+          [ (Host.Vm.ip server_vm.Host.Server.vm, 9000) ];
+        connections = 2;
+        outstanding = 8;
+        request_size = 64;
+        total_requests = None;
+        src_port_base = 50_000;
+      }
+  in
+  let config =
+    {
+      Fastrak.Config.default with
+      Fastrak.Config.epoch_period = Simtime.span_ms 100.0;
+      poll_gap = Simtime.span_ms 40.0;
+    }
+  in
+  let rm =
+    Fastrak.Rule_manager.create ~engine:tb.Testbed.engine ~config
+      ~tor:tb.Testbed.tor
+      ~servers:(Array.to_list tb.Testbed.servers)
+      ~faults:sched ()
+  in
+  let before = Obs.Metrics.snapshot () in
+  let value name =
+    let b =
+      match List.assoc_opt name before with
+      | Some (Obs.Metrics.Counter_v n) -> n
+      | _ -> 0
+    in
+    counter name - b
+  in
+  Fastrak.Rule_manager.start rm;
+  Testbed.run_for tb ~seconds;
+  (* Quiesce: stop the offered load and let the control plane converge
+     — retries drain, stale offloads age out and demote, unreconciled
+     demotes replay on subsequent report contacts. *)
+  Workloads.Transactions.Client.stop client;
+  Testbed.run_for tb ~seconds:drain;
+  let tor_ctrl = Fastrak.Rule_manager.tor_controller rm in
+  let tor_offloaded = Fastrak.Tor_controller.offloaded_patterns tor_ctrl in
+  let local_offloaded =
+    List.concat_map
+      (fun server ->
+        match
+          Fastrak.Rule_manager.local_controller rm
+            ~server:(Host.Server.name server)
+        with
+        | Some local -> Fastrak.Local_controller.offloaded_patterns local
+        | None -> [])
+      (Array.to_list tb.Testbed.servers)
+  in
+  {
+    schedule = Faults.Schedule.to_string sched;
+    run_seconds = seconds;
+    drain_seconds = drain;
+    drops = value "openflow.channel.drops";
+    dups = value "openflow.channel.dups";
+    reorders = value "openflow.channel.reorders";
+    retries = value "fastrak.directive_retries";
+    failures = value "fastrak.directive_failures";
+    peer_deaths = value "fastrak.peer_deaths";
+    promotions = value "fastrak.promotions";
+    demotions = value "fastrak.demotions";
+    tor_offloaded;
+    local_offloaded;
+    unacked = Fastrak.Tor_controller.unacked_directives tor_ctrl;
+    reconciled = pattern_set_equal tor_offloaded local_offloaded;
+  }
+
+let print r =
+  Tabular.print_title "Chaos: control plane under injected faults";
+  Printf.printf "fault schedule: %s  (%.1fs under load + %.1fs drain)\n"
+    r.schedule r.run_seconds r.drain_seconds;
+  Printf.printf
+    "channel faults injected: %d drops, %d duplicates, %d reordered\n" r.drops
+    r.dups r.reorders;
+  Printf.printf
+    "protocol: %d retransmissions, %d exhausted directives, %d peer deaths\n"
+    r.retries r.failures r.peer_deaths;
+  Printf.printf "decisions applied: %d promotions, %d demotions\n" r.promotions
+    r.demotions;
+  Printf.printf
+    "after drain: %d TOR-side / %d server-side offloads, %d unacked -> %s\n"
+    (List.length r.tor_offloaded)
+    (List.length r.local_offloaded)
+    r.unacked
+    (if r.reconciled then "views reconciled" else "NOT RECONCILED")

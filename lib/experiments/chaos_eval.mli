@@ -1,0 +1,35 @@
+(** Chaos experiment: the FasTrak control plane under injected faults.
+
+    Runs a hot transactional workload on a 3-server rack with every
+    control channel in unreliable mode under a configurable
+    {!Faults.Schedule}, then quiesces the load and checks that the
+    ack/retry protocol converged: the TOR controller's view of what is
+    offloaded matches the union of the servers' flow-placer views, and
+    no directive is left unacknowledged. See [docs/FAULTS.md]. *)
+
+val schedule_spec : string ref
+(** Fault schedule used when {!run} gets no [?schedule] — a profile
+    name or [Faults.Schedule.of_string] spec (CLI [--faults]).
+    Default ["lossy"]. *)
+
+type result = {
+  schedule : string;  (** Canonical rendering of the schedule run. *)
+  run_seconds : float;
+  drain_seconds : float;
+  drops : int;  (** Control messages dropped by the injectors. *)
+  dups : int;
+  reorders : int;
+  retries : int;  (** Directive retransmissions. *)
+  failures : int;  (** Directives that exhausted their attempts. *)
+  peer_deaths : int;
+  promotions : int;
+  demotions : int;
+  tor_offloaded : Netcore.Fkey.Pattern.t list;
+  local_offloaded : Netcore.Fkey.Pattern.t list;
+  unacked : int;  (** Pending + unreconciled directives after drain. *)
+  reconciled : bool;
+      (** TOR-side and server-side offloaded views agree after drain. *)
+}
+
+val run : ?schedule:string -> ?seconds:float -> ?drain:float -> unit -> result
+val print : result -> unit

@@ -47,6 +47,13 @@ type event =
       push : [ `Offload | `Demote ];
     }
   | Epoch_tick of { me : string; epoch : int; interval : int }
+  | Ctrl_drop of { channel : string }
+  | Ctrl_retry of { server : string; seq : int; attempt : int }
+  | Peer_state of { server : string; alive : bool }
+  | Migration_stage of {
+      vm_ip : Ipv4.t;
+      stage : [ `Prepare | `Commit | `Abort ];
+    }
 
 (* --- Pattern codec --- *)
 
@@ -187,7 +194,27 @@ let to_jsonl now event =
       ev "epoch_tick";
       kv_s b "me" me;
       kv_i b "epoch" epoch;
-      kv_i b "interval" interval);
+      kv_i b "interval" interval
+  | Ctrl_drop { channel } ->
+      ev "ctrl_drop";
+      kv_s b "channel" channel
+  | Ctrl_retry { server; seq; attempt } ->
+      ev "ctrl_retry";
+      kv_s b "server" server;
+      kv_i b "seq" seq;
+      kv_i b "attempt" attempt
+  | Peer_state { server; alive } ->
+      ev "peer_state";
+      kv_s b "server" server;
+      kv_s b "state" (if alive then "alive" else "dead")
+  | Migration_stage { vm_ip; stage } ->
+      ev "migration";
+      kv_ip b "vm_ip" vm_ip;
+      kv_s b "stage"
+        (match stage with
+        | `Prepare -> "prepare"
+        | `Commit -> "commit"
+        | `Abort -> "abort"));
   Buffer.add_char b '}';
   Buffer.contents b
 
@@ -354,6 +381,33 @@ let of_jsonl line =
         let* epoch = int "epoch" in
         let* interval = int "interval" in
         Some (Epoch_tick { me; epoch; interval })
+    | "ctrl_drop" ->
+        let* channel = str "channel" in
+        Some (Ctrl_drop { channel })
+    | "ctrl_retry" ->
+        let* server = str "server" in
+        let* seq = int "seq" in
+        let* attempt = int "attempt" in
+        Some (Ctrl_retry { server; seq; attempt })
+    | "peer_state" ->
+        let* server = str "server" in
+        let* alive =
+          match str "state" with
+          | Some "alive" -> Some true
+          | Some "dead" -> Some false
+          | _ -> None
+        in
+        Some (Peer_state { server; alive })
+    | "migration" ->
+        let* vm_ip = ip "vm_ip" in
+        let* stage =
+          match str "stage" with
+          | Some "prepare" -> Some `Prepare
+          | Some "commit" -> Some `Commit
+          | Some "abort" -> Some `Abort
+          | _ -> None
+        in
+        Some (Migration_stage { vm_ip; stage })
     | _ -> None
   in
   Some (now, event)

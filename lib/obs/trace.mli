@@ -76,6 +76,26 @@ type event =
       epoch : int;
       interval : int;  (** Control intervals completed so far. *)
     }  (** A measurement engine finished one polling epoch. *)
+  | Ctrl_drop of { channel : string }
+      (** The fault injector dropped a message on a control channel
+          (probabilistic loss, a link-down window, or a one-shot
+          trigger). *)
+  | Ctrl_retry of { server : string; seq : int; attempt : int }
+      (** A directive to [server] timed out unacked and is being
+          retransmitted ([attempt] counts transmissions, so the first
+          retry is attempt 2). *)
+  | Peer_state of { server : string; alive : bool }
+      (** The TOR controller's dead-peer detector changed its verdict
+          on a server's local controller. A transition to dead demotes
+          the server's offloaded flows (graceful degradation). *)
+  | Migration_stage of {
+      vm_ip : Netcore.Ipv4.t;
+      stage : [ `Prepare | `Commit | `Abort ];
+    }
+      (** Two-phase VM migration progress: [`Prepare] returned the VM's
+          rules to the hypervisor, [`Commit] adopted the profile at the
+          destination, [`Abort] re-installed the returned rules at the
+          source because the destination never confirmed. *)
 
 (** {1 Sinks} *)
 

@@ -2,6 +2,10 @@ type t = { capacity : int; mutable used : int }
 
 let m_reservations = Obs.Metrics.counter "tor.tcam.reservations"
 let m_rejections = Obs.Metrics.counter "tor.tcam.rejections"
+
+(* Paper-facing alias for the decision engine's capacity pressure: a
+   reserve that failed because the shared TCAM was full. *)
+let m_reserve_fail = Obs.Metrics.counter "fastrak.tcam.reserve_fail"
 let m_used = Obs.Metrics.gauge "tor.tcam.used"
 
 let create ~capacity =
@@ -16,6 +20,7 @@ let reserve t n =
   if n < 0 then invalid_arg "Tcam.reserve: negative count";
   if t.used + n > t.capacity then begin
     Obs.Metrics.incr m_rejections;
+    Obs.Metrics.incr m_reserve_fail;
     false
   end
   else begin

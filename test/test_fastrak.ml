@@ -626,7 +626,7 @@ let test_rule_manager_vm_migration () =
   (* §4.1.2: before VM migration all offloaded flows return to the
      hypervisor, and the demand profile travels with the VM. *)
   let a_ip = Host.Vm.ip a.Host.Server.vm in
-  let profile = Fastrak.Rule_manager.prepare_vm_migration rm ~tenant ~vm_ip:a_ip in
+  let mg = Fastrak.Rule_manager.begin_vm_migration rm ~tenant ~vm_ip:a_ip in
   (* Every rule belonging to the migrating VM is back in software; the
      sink's own offloaded aggregates are untouched. *)
   checkb "vm's rules all returned" true
@@ -634,11 +634,11 @@ let test_rule_manager_vm_migration () =
        (fun (p : Fkey.Pattern.t) -> p.Fkey.Pattern.src_ip <> Some a_ip)
        (Fastrak.Tor_controller.offloaded_patterns
           (Fastrak.Rule_manager.tor_controller rm)));
-  (match profile with
+  (match Fastrak.Rule_manager.migration_profile mg with
   | Some p -> checkb "profile non-empty" true (Fastrak.Demand_profile.entry_count p > 0)
   | None -> Alcotest.fail "expected a demand profile");
-  Fastrak.Rule_manager.complete_vm_migration rm
-    ~profile:(Option.get profile) ~new_server:"server1"
+  checkb "commit succeeds" true
+    (Fastrak.Rule_manager.commit_vm_migration rm mg ~new_server:"server1")
 
 let suite =
   let t name f = Alcotest.test_case name `Quick f in

@@ -10,6 +10,7 @@ let () =
       ("tcp", Test_tcp.suite);
       ("dataplane", Test_dataplane.suite);
       ("fastrak", Test_fastrak.suite);
+      ("faults", Test_faults.suite);
       ("obs", Test_obs.suite);
       ("workloads", Test_workloads.suite);
     ]

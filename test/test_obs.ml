@@ -77,6 +77,13 @@ let sample_events =
     Trace.Rule_pushed
       { server = "server1"; pattern = full_pattern; push = `Demote };
     Trace.Epoch_tick { me = "server0.me"; epoch = 17; interval = 2 };
+    Trace.Ctrl_drop { channel = "server0.directive" };
+    Trace.Ctrl_retry { server = "server0"; seq = 42; attempt = 3 };
+    Trace.Peer_state { server = "server1"; alive = false };
+    Trace.Peer_state { server = "server1"; alive = true };
+    Trace.Migration_stage { vm_ip = vm1; stage = `Prepare };
+    Trace.Migration_stage { vm_ip = vm1; stage = `Commit };
+    Trace.Migration_stage { vm_ip = vm2; stage = `Abort };
   ]
 
 let test_jsonl_round_trip () =
