@@ -236,7 +236,7 @@ let run_bench_mode args =
   let smoke, out_dir, groups = parse (false, ".", []) args in
   let groups =
     match groups with
-    | [] -> [ "decision"; "measurement"; "eventqueue" ]
+    | [] -> [ "decision"; "measurement"; "eventqueue"; "obs" ]
     | l -> l
   in
   line ();
@@ -250,6 +250,7 @@ let run_bench_mode args =
         | "decision" -> Bench_scenarios.run_decision ~smoke
         | "measurement" -> Bench_scenarios.run_measurement ~smoke
         | "eventqueue" -> Bench_scenarios.run_eventqueue ~smoke
+        | "obs" -> Bench_scenarios.run_obs ~smoke
         | g -> failwith ("unknown bench group: " ^ g)
       in
       let path = Bench_scenarios.write_json ~bench:group ~out_dir results in

@@ -145,9 +145,44 @@ let run_cmd =
              per-experiment deltas and process totals. A $(b,.csv) suffix \
              selects CSV; anything else writes JSON.")
   in
+  let timeseries_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "timeseries-out" ] ~docv:"FILE"
+          ~doc:
+            "Collect per-control-interval snapshots of directive RTT, \
+             offload install latency, TCAM occupancy and per-path pps — \
+             each with streaming p50/p90/p99 — and write them to $(docv). \
+             A $(b,.csv) suffix selects CSV; anything else writes JSONL. \
+             See docs/METRICS.md.")
+  in
+  let monitors =
+    let parse = function
+      | "off" -> Ok `Off
+      | "warn" -> Ok `Warn
+      | "strict" -> Ok `Strict
+      | s -> Error (`Msg (Printf.sprintf "invalid monitor mode %S" s))
+    in
+    let print ppf m =
+      Format.pp_print_string ppf
+        (match m with `Off -> "off" | `Warn -> "warn" | `Strict -> "strict")
+    in
+    Arg.(
+      value
+      & opt (conv (parse, print)) `Off
+      & info [ "monitors" ] ~docv:"MODE"
+          ~doc:
+            "Run the online invariant monitors (TCAM occupancy within \
+             capacity, FPS split conservation, per-server directive seq \
+             monotonicity, span pairing, migration stage ordering) over \
+             the live trace stream. $(b,warn) prints a report after the \
+             runs; $(b,strict) stops at the first violation with a \
+             non-zero exit. Default $(b,off).")
+  in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
-      const (fun scale trace faults metrics_out ids ->
+      const (fun scale trace faults metrics_out timeseries_out monitors ids ->
           Experiments.Memcached_eval.requests_scale := scale;
           (match Faults.Schedule.profile faults with
           | Ok _ -> Experiments.Chaos_eval.schedule_spec := faults
@@ -160,9 +195,11 @@ let run_cmd =
               Printf.eprintf "fastrak_sim: cannot open output file: %s\n" msg;
               Stdlib.exit 1
           in
-          (* Open both sinks before any experiment runs, so a bad path
+          (* Open every sink before any experiment runs, so a bad path
              fails in milliseconds instead of after the last run. *)
           let metrics_oc = Option.map open_out_or_die metrics_out in
+          let timeseries_oc = Option.map open_out_or_die timeseries_out in
+          if timeseries_oc <> None then Obs.Timeseries.enable ();
           let trace_oc =
             Option.map
               (fun file ->
@@ -171,17 +208,50 @@ let run_cmd =
                 oc)
               trace
           in
+          let monitor =
+            match monitors with
+            | `Off -> None
+            | (`Warn | `Strict) as m ->
+                let mon =
+                  Obs.Monitor.create
+                    ~mode:(if m = `Strict then Obs.Monitor.Strict else Obs.Monitor.Warn)
+                    ()
+                in
+                Obs.Monitor.attach mon;
+                Some mon
+          in
           let ids =
             if List.mem "all" ids then List.map fst experiments else ids
           in
-          List.iter
-            (fun id -> Experiments.Metric_snapshot.record ~id (fun () -> run_one id))
-            ids;
+          (try
+             List.iter
+               (fun id ->
+                 Experiments.Metric_snapshot.record ~id (fun () -> run_one id))
+               ids
+           with Obs.Monitor.Strict_violation v ->
+             Printf.eprintf "fastrak_sim: monitor violation: %s\n"
+               (Obs.Monitor.violation_to_string v);
+             Stdlib.exit 3);
           (match trace_oc with
           | Some oc ->
               Obs.Trace.disable ();
               close_out oc
           | None -> ());
+          (match monitor with
+          | Some mon ->
+              Obs.Trace.disable ();
+              print_newline ();
+              print_string (Obs.Monitor.report mon)
+          | None -> ());
+          (match (timeseries_out, timeseries_oc) with
+          | Some file, Some oc ->
+              Obs.Timeseries.disable ();
+              let rows = Obs.Timeseries.rows () in
+              if Filename.check_suffix file ".csv" then
+                Obs.Timeseries.write_csv oc rows
+              else Obs.Timeseries.write_jsonl oc rows;
+              close_out oc
+          | _ -> ());
           match (metrics_out, metrics_oc) with
           | Some file, Some oc ->
               if Filename.check_suffix file ".csv" then
@@ -189,9 +259,53 @@ let run_cmd =
               else Experiments.Metric_snapshot.write_json oc;
               close_out oc
           | _ -> ())
-      $ scale $ trace $ faults $ metrics_out $ ids)
+      $ scale $ trace $ faults $ metrics_out $ timeseries_out $ monitors $ ids)
+
+let trace_export_cmd =
+  let doc =
+    "Convert a JSONL trace (from $(b,run --trace)) to Chrome trace-event \
+     JSON for Perfetto"
+  in
+  let input =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"TRACE.jsonl"
+          ~doc:"JSONL trace written by $(b,run --trace).")
+  in
+  let output =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:
+            "Output file (default: the input with a $(b,.json) suffix). \
+             Open it at https://ui.perfetto.dev or chrome://tracing.")
+  in
+  Cmd.v (Cmd.info "trace-export" ~doc)
+    Term.(
+      const (fun input output ->
+          let output =
+            match output with
+            | Some o -> o
+            | None ->
+                (if Filename.check_suffix input ".jsonl" then
+                   Filename.chop_suffix input ".jsonl"
+                 else input)
+                ^ ".json"
+          in
+          match Obs.Export.convert_file ~input ~output with
+          | Ok { Obs.Export.events_in; skipped; events_out } ->
+              Printf.printf
+                "%s: %d trace events -> %d Chrome events (%d malformed line(s) \
+                 skipped)\n"
+                output events_in events_out skipped
+          | Error msg ->
+              Printf.eprintf "fastrak_sim: trace-export: %s\n" msg;
+              Stdlib.exit 1)
+      $ input $ output)
 
 let () =
   let doc = "FasTrak (CoNEXT 2013) reproduction simulator" in
   exit (Cmd.eval (Cmd.group (Cmd.info "fastrak_sim" ~version:"1.0" ~doc)
-                    [ list_cmd; run_cmd ]))
+                    [ list_cmd; run_cmd; trace_export_cmd ]))

@@ -186,6 +186,8 @@ let apply_fps t =
                        direction = Obs.Trace.Tx;
                        soft_bps = split.Fps.soft.Rules.Rate_limit_spec.rate_bps;
                        hard_bps = split.Fps.hard.Rules.Rate_limit_spec.rate_bps;
+                       total_bps = tx_total;
+                       overflow_bps = t.config.Config.overflow_bps;
                      });
               Vswitch.Ovs.set_vif_tx_limit a.vif split.Fps.soft;
               Nic.Sriov.set_vf_tx_limit vf split.Fps.hard
@@ -205,6 +207,8 @@ let apply_fps t =
                        direction = Obs.Trace.Rx;
                        soft_bps = split.Fps.soft.Rules.Rate_limit_spec.rate_bps;
                        hard_bps = split.Fps.hard.Rules.Rate_limit_spec.rate_bps;
+                       total_bps = rx_total;
+                       overflow_bps = t.config.Config.overflow_bps;
                      });
               Vswitch.Ovs.set_vif_rx_limit a.vif split.Fps.soft;
               Nic.Sriov.set_vf_rx_limit vf split.Fps.hard

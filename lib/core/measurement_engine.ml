@@ -29,6 +29,9 @@ type record = {
   bps_history : Dcsim.Ring.t;
   mutable rec_destinations : Netcore.Ipv4.t list;  (* most recent first, deduped *)
   mutable dest_count : int;
+  (* Aggregate lifecycle span: first classified packet -> the first
+     report interval with no active samples ("idle"). *)
+  mutable rec_span : Obs.Span.id;
 }
 
 type t = {
@@ -130,8 +133,15 @@ let run_epoch t k =
                              Dcsim.Ring.create ~capacity:(history_limit t.config);
                            rec_destinations = [];
                            dest_count = 0;
+                           rec_span = Obs.Span.none;
                          }
                        in
+                       if Obs.Trace.enabled () then
+                         r.rec_span <-
+                           Obs.Span.start ~now:(Engine.now t.engine)
+                             ~kind:"aggregate"
+                             ~name:(Obs.Trace.pattern_to_string pattern)
+                             ~track:t.me_name ();
                        Hashtbl.replace t.records pattern r;
                        r
                  in
@@ -178,7 +188,15 @@ let build_report t =
     Hashtbl.fold
       (fun pattern record acc ->
         let actives = Dcsim.Ring.count positive record.pps_history in
-        if actives = 0 then acc
+        if actives = 0 then begin
+          (* The aggregate went quiet for a whole history window: close
+             its lifecycle span (no-op if already closed or untraced).
+             A later revival keeps the same record and is not re-opened. *)
+          Obs.Span.finish ~now:(Engine.now t.engine) record.rec_span
+            ~outcome:"idle";
+          record.rec_span <- Obs.Span.none;
+          acc
+        end
         else begin
           let latest ring = Option.value (Dcsim.Ring.latest ring) ~default:0.0 in
           let entry =

@@ -19,6 +19,7 @@ type migration = {
   mg_returned : Tor_controller.returned_rule list;
   mutable mg_state : migration_state;
   mutable mg_timer : Engine.handle option;
+  mutable mg_span : Obs.Span.id;  (* prepare -> commit/abort *)
 }
 
 let create ~engine ~config ~tor ~servers ?tenant_priority ?group_of ?faults () =
@@ -121,6 +122,8 @@ let abort_vm_migration t mg =
     cancel_timer t mg;
     Obs.Metrics.incr m_migration_aborts;
     emit_stage t mg `Abort;
+    Obs.Span.finish ~now:(Engine.now t.engine) mg.mg_span ~outcome:"abort";
+    mg.mg_span <- Obs.Span.none;
     (match (mg.mg_source, mg.mg_profile) with
     | Some source, Some profile -> (
         match List.assoc_opt source t.locals with
@@ -133,6 +136,13 @@ let abort_vm_migration t mg =
 let begin_vm_migration t ~tenant ~vm_ip =
   ignore tenant;
   Obs.Metrics.incr m_vm_migrations;
+  let span =
+    if Obs.Trace.enabled () then
+      Obs.Span.start ~now:(Engine.now t.engine) ~kind:"migration"
+        ~name:("migrate " ^ Netcore.Ipv4.to_string vm_ip)
+        ~track:"tor" ()
+    else Obs.Span.none
+  in
   let returned = Tor_controller.demote_all_for_vm t.tor_ctrl ~vm_ip in
   let source, profile =
     match
@@ -152,6 +162,7 @@ let begin_vm_migration t ~tenant ~vm_ip =
       mg_returned = returned;
       mg_state = `Preparing;
       mg_timer = None;
+      mg_span = span;
     }
   in
   emit_stage t mg `Prepare;
@@ -171,6 +182,8 @@ let commit_vm_migration t mg ~new_server =
         mg.mg_state <- `Committed;
         cancel_timer t mg;
         emit_stage t mg `Commit;
+        Obs.Span.finish ~now:(Engine.now t.engine) mg.mg_span ~outcome:"commit";
+        mg.mg_span <- Obs.Span.none;
         (match mg.mg_profile with
         | Some profile -> Local_controller.adopt_profile local profile
         | None -> ());

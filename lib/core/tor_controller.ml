@@ -11,16 +11,23 @@ type offload_state = {
   os_server : string;
   os_handle : Tor.Vrf.handle;
   os_entries : int;
+  os_created : Simtime.t;  (* VRF install instant; install latency base *)
   mutable os_score : float;
   (* Install state machine: [Pending] until the local controller acks
      the offload directive, then [Installed]; [Failed] when retries are
      exhausted, which triggers a TOR-side rollback. *)
   mutable os_status : install_status;
+  (* Causal spans: the whole offload (promotion -> demotion) and the
+     install handshake inside it. [Obs.Span.none] when tracing is off. *)
+  mutable os_span : Obs.Span.id;
+  mutable os_install_span : Obs.Span.id;
 }
 
 (* One directive awaiting its ack. *)
 type pending = {
   p_directive : Local_controller.directive;
+  p_sent : Simtime.t;  (* first transmission; RTT base *)
+  p_span : Obs.Span.id;  (* send -> ack/exhaustion round trip *)
   mutable p_attempt : int;  (* transmissions so far, >= 1 *)
   mutable p_timer : Engine.handle option;
   p_on_result : [ `Acked | `Failed ] -> unit;
@@ -54,6 +61,18 @@ let m_peer_deaths = Obs.Metrics.counter "fastrak.peer_deaths"
 let m_offloaded_current = Obs.Metrics.gauge "fastrak.offloaded_current"
 let m_offload_score = Obs.Metrics.summary "fastrak.offload.score"
 
+(* Timeseries the decision loop feeds when [--timeseries-out] is on
+   (Obs.Timeseries.enabled guards every site). *)
+let ts_rtt = Obs.Timeseries.series "fastrak.directive_rtt_us"
+let ts_install = Obs.Timeseries.series "fastrak.install_latency_us"
+let ts_tcam = Obs.Timeseries.series "tor.tcam.used"
+let ts_soft_pps = Obs.Timeseries.series "path.software.pps"
+let ts_hard_pps = Obs.Timeseries.series "path.express.pps"
+
+(* Per-path packet counters, read as deltas per control interval. *)
+let c_soft_tx = Obs.Metrics.counter "vswitch.tx_packets"
+let c_hard_tx = Obs.Metrics.counter "nic.vf_tx_packets"
+
 type t = {
   engine : Engine.t;
   config : Config.t;
@@ -73,6 +92,8 @@ type t = {
   destinations : (Fkey.Pattern.t, Netcore.Ipv4.t list) Hashtbl.t;
   mutable decisions : int;
   mutable running : bool;
+  (* Last (instant, vswitch tx, VF tx) sample for per-path pps deltas. *)
+  mutable ts_prev : (Simtime.t * int * int) option;
 }
 
 let create ~engine ~config ~tor ~lookup_vm ?(tenant_priority = fun _ -> 1.0)
@@ -119,6 +140,7 @@ let create ~engine ~config ~tor ~lookup_vm ?(tenant_priority = fun _ -> 1.0)
       destinations = Hashtbl.create 32;
       decisions = 0;
       running = false;
+      ts_prev = None;
     }
   in
   t_ref := Some t;
@@ -235,14 +257,43 @@ let transmit peer ~seq directive =
    demote flows (mark_dead -> apply_demote) and demoting sends another
    acknowledged directive. *)
 
-let rec send_directive t peer directive ~on_result =
+let rec send_directive t ?(parent = Obs.Span.none) peer directive ~on_result =
   let seq = t.next_seq in
   t.next_seq <- t.next_seq + 1;
-  send_with_seq t peer ~seq directive ~on_result
+  (* Announce only freshly issued directives: unreconciled-demote
+     replays (send_with_seq from note_contact) reuse an old seq on
+     purpose and must not look like a sequence regression. *)
+  let span =
+    if Obs.Trace.enabled () then begin
+      let now = Engine.now t.engine in
+      let pattern, push =
+        match directive with
+        | Local_controller.Offload { pattern; _ } -> (pattern, `Offload)
+        | Local_controller.Demote { pattern; _ } -> (pattern, `Demote)
+      in
+      Obs.Trace.emit ~now
+        (Obs.Trace.Rule_pushed { server = peer.peer_name; pattern; push; seq });
+      Obs.Span.start ~now ~parent ~kind:"directive"
+        ~name:
+          (Printf.sprintf "%s seq=%d"
+             (match push with `Offload -> "offload" | `Demote -> "demote")
+             seq)
+        ~track:peer.peer_name ()
+    end
+    else Obs.Span.none
+  in
+  send_with_seq t peer ~seq ~span directive ~on_result
 
-and send_with_seq t peer ~seq directive ~on_result =
+and send_with_seq t peer ~seq ~span directive ~on_result =
   let p =
-    { p_directive = directive; p_attempt = 1; p_timer = None; p_on_result = on_result }
+    {
+      p_directive = directive;
+      p_sent = Engine.now t.engine;
+      p_span = span;
+      p_attempt = 1;
+      p_timer = None;
+      p_on_result = on_result;
+    }
   in
   Hashtbl.replace peer.p_pending seq p;
   transmit peer ~seq directive;
@@ -276,6 +327,7 @@ and on_timeout t peer ~seq p =
     | Local_controller.Offload _ -> ());
     Obs.Metrics.incr m_failures;
     peer.consecutive_failures <- peer.consecutive_failures + 1;
+    Obs.Span.finish ~now:(Engine.now t.engine) p.p_span ~outcome:"failed";
     if peer.alive && peer.consecutive_failures >= t.config.Config.dead_peer_failures
     then mark_dead t peer;
     p.p_on_result `Failed
@@ -286,7 +338,7 @@ and on_timeout t peer ~seq p =
     if Obs.Trace.enabled () then
       Obs.Trace.emit ~now:(Engine.now t.engine)
         (Obs.Trace.Ctrl_retry
-           { server = peer.peer_name; seq; attempt = p.p_attempt });
+           { server = peer.peer_name; seq; attempt = p.p_attempt; span = p.p_span });
     transmit peer ~seq p.p_directive;
     arm_retry t peer ~seq p
   end
@@ -323,6 +375,12 @@ and apply_demote t os ~reason =
            server = os.os_server;
            reason;
          });
+  (* Close the offload's spans: a still-pending install is cut short. *)
+  let span_now = Engine.now t.engine in
+  Obs.Span.finish ~now:span_now os.os_install_span ~outcome:"aborted";
+  os.os_install_span <- Obs.Span.none;
+  Obs.Span.finish ~now:span_now os.os_span ~outcome:reason;
+  os.os_span <- Obs.Span.none;
   (* Break-after-make in reverse: the hardware rules survive until BOTH
      the grace period has passed (placer had time to redirect) AND the
      demote directive has resolved (acked, or retries exhausted). On a
@@ -339,10 +397,6 @@ and apply_demote t os ~reason =
   in
   (match peer_of t os.os_server with
   | Some peer ->
-      if Obs.Trace.enabled () then
-        Obs.Trace.emit ~now:(Engine.now t.engine)
-          (Obs.Trace.Rule_pushed
-             { server = os.os_server; pattern = os.os_pattern; push = `Demote });
       send_directive t peer
         (Local_controller.Demote { vm_ip = os.os_vm_ip; pattern = os.os_pattern })
         ~on_result:(fun _ ->
@@ -379,8 +433,11 @@ let apply_offload t (c : Decision_engine.candidate) ~server =
                   os_server = server;
                   os_handle = handle;
                   os_entries = compiled.Rules.Rule_compiler.tcam_entries;
+                  os_created = Engine.now t.engine;
                   os_score = c.score;
                   os_status = Pending;
+                  os_span = Obs.Span.none;
+                  os_install_span = Obs.Span.none;
                 }
               in
               match peer_of t server with
@@ -403,18 +460,33 @@ let apply_offload t (c : Decision_engine.candidate) ~server =
                            score = c.score;
                            tcam_entries = state.os_entries;
                          });
-                    Obs.Trace.emit ~now
-                      (Obs.Trace.Rule_pushed
-                         { server; pattern = c.pattern; push = `Offload })
+                    state.os_span <-
+                      Obs.Span.start ~now ~kind:"offload"
+                        ~name:(Obs.Trace.pattern_to_string c.pattern)
+                        ~track:"tor" ();
+                    state.os_install_span <-
+                      Obs.Span.start ~now ~parent:state.os_span ~kind:"install"
+                        ~name:"install" ~track:"tor" ()
                   end;
                   (* Make-before-break: VRF rules are live before the
                      flow placer redirects the first packet. *)
-                  send_directive t peer
+                  send_directive t ~parent:state.os_install_span peer
                     (Local_controller.Offload { vm_ip = c.vm_ip; pattern = c.pattern })
                     ~on_result:(function
-                      | `Acked -> state.os_status <- Installed
+                      | `Acked ->
+                          state.os_status <- Installed;
+                          let now = Engine.now t.engine in
+                          if Obs.Timeseries.enabled () then
+                            Obs.Timeseries.observe ts_install
+                              (Simtime.span_to_us (Simtime.diff now state.os_created));
+                          Obs.Span.finish ~now state.os_install_span
+                            ~outcome:"installed";
+                          state.os_install_span <- Obs.Span.none
                       | `Failed ->
                           state.os_status <- Failed;
+                          Obs.Span.finish ~now:(Engine.now t.engine)
+                            state.os_install_span ~outcome:"failed";
+                          state.os_install_span <- Obs.Span.none;
                           (* Rollback: the placer never confirmed the
                              redirect, so reclaim the TCAM entries. The
                              demote below doubles as reconciliation in
@@ -438,7 +510,10 @@ let note_contact t peer =
     (fun u ->
       if not u.u_inflight then begin
         u.u_inflight <- true;
-        send_with_seq t peer ~seq:u.u_seq u.u_directive ~on_result:(fun _ -> ())
+        (* Replays keep their original seq and are deliberately not
+           re-announced or re-spanned; see send_directive. *)
+        send_with_seq t peer ~seq:u.u_seq ~span:Obs.Span.none u.u_directive
+          ~on_result:(fun _ -> ())
       end)
     peer.unreconciled
 
@@ -456,6 +531,11 @@ let handle_ack t ~server ~seq =
           Hashtbl.remove peer.p_pending seq;
           peer.unreconciled <-
             List.filter (fun u -> u.u_seq <> seq) peer.unreconciled;
+          let now = Engine.now t.engine in
+          if Obs.Timeseries.enabled () then
+            Obs.Timeseries.observe ts_rtt
+              (Simtime.span_to_us (Simtime.diff now p.p_sent));
+          Obs.Span.finish ~now p.p_span ~outcome:"acked";
           p.p_on_result `Acked
       | None ->
           (* Duplicate ack of something already resolved. *)
@@ -471,8 +551,29 @@ let receive_uplink t = function
       | None -> ())
   | Local_controller.Ack { server; seq } -> handle_ack t ~server ~seq
 
+(* One timeseries sample per control interval: TCAM occupancy and
+   per-path pps (counter deltas over the elapsed sim time), then a tick
+   that snapshots every series' quantiles. *)
+let sample_timeseries t =
+  let now = Engine.now t.engine in
+  Obs.Timeseries.observe ts_tcam
+    (float_of_int (Tor.Tcam.used (Tor.Tor_switch.tcam t.tor)));
+  let soft = Obs.Metrics.counter_value c_soft_tx in
+  let hard = Obs.Metrics.counter_value c_hard_tx in
+  (match t.ts_prev with
+  | Some (prev_t, prev_soft, prev_hard) ->
+      let dt = Simtime.span_to_sec (Simtime.diff now prev_t) in
+      if dt > 0.0 then begin
+        Obs.Timeseries.observe ts_soft_pps (float_of_int (soft - prev_soft) /. dt);
+        Obs.Timeseries.observe ts_hard_pps (float_of_int (hard - prev_hard) /. dt)
+      end
+  | None -> ());
+  t.ts_prev <- Some (now, soft, hard);
+  Obs.Timeseries.tick ~now ()
+
 let run_decision t =
   t.decisions <- t.decisions + 1;
+  if Obs.Timeseries.enabled () then sample_timeseries t;
   let candidates_table, server_of = build_candidates t in
   let candidates = Hashtbl.fold (fun _ c acc -> c :: acc) candidates_table [] in
   let offloaded_for_decide =

@@ -237,6 +237,104 @@ let run_eventqueue ~smoke =
   let events = if smoke then 2_000 else 200_000 in
   [ eventq_churn ~smoke ~events; eventq_cancel_heavy ~smoke ~events ]
 
+(* --- observability: emission overhead (docs/BENCH.md) ---
+
+   The zero-overhead contract says an untraced emission site costs one
+   load and one branch. These scenarios price that claim and its
+   alternatives: the same site with tracing off, with an in-process
+   callback sink, and with the JSONL sink writing to /dev/null (so the
+   cost measured is formatting + buffered output, not disk). *)
+
+let obs_emit_site ~now ~vm i =
+  (* A faithful emission site: guard first, construct only under a
+     sink — exactly what the control plane's hot paths do. *)
+  if Obs.Trace.enabled () then
+    Obs.Trace.emit ~now
+      (Obs.Trace.Fps_split
+         {
+           vm_ip = vm;
+           direction = Obs.Trace.Tx;
+           soft_bps = float_of_int i;
+           hard_bps = 1e9;
+           total_bps = 1e9;
+           overflow_bps = 5e7;
+         })
+
+let obs_emit_case ~smoke ~sink ~install ~teardown =
+  let n = if smoke then 20_000 else 1_000_000 in
+  let now = Simtime.of_ns 1_000 in
+  let vm = ip_of_index 9 in
+  let run_scenario () =
+    for i = 0 to n - 1 do
+      obs_emit_site ~now ~vm i
+    done
+  in
+  install ();
+  let min_time = if smoke then 0.02 else 0.2 in
+  let timed = time_runs ~min_time run_scenario in
+  teardown ();
+  mk_result
+    ~scenario:(Printf.sprintf "trace-emit/%s" sink)
+    ~unit_:"event"
+    ~params:[ ("events", float_of_int n) ]
+    ~ops:n timed
+
+let obs_span_case ~smoke =
+  let n = if smoke then 10_000 else 500_000 in
+  let now = Simtime.of_ns 1_000 in
+  let sunk = ref 0 in
+  let run_scenario () =
+    for _ = 1 to n do
+      let s =
+        Obs.Span.start ~now ~kind:"bench" ~name:"span" ~track:"bench" ()
+      in
+      Obs.Span.finish ~now s ~outcome:"done"
+    done
+  in
+  Obs.Trace.use_callback (fun _ _ -> incr sunk);
+  let min_time = if smoke then 0.02 else 0.2 in
+  let timed = time_runs ~min_time run_scenario in
+  Obs.Trace.disable ();
+  mk_result ~scenario:"span-pair/callback" ~unit_:"span"
+    ~params:[ ("spans", float_of_int n) ]
+    ~ops:n timed
+
+let obs_timeseries_case ~smoke =
+  let n = if smoke then 20_000 else 1_000_000 in
+  let collector = Obs.Timeseries.create () in
+  Obs.Timeseries.enable ~collector ();
+  let s = Obs.Timeseries.series ~collector "bench.latency" in
+  let rng = Rng.create ~seed:21 in
+  let samples = Array.init n (fun _ -> Rng.float rng 10_000.0) in
+  let run_scenario () =
+    Array.iter (fun v -> Obs.Timeseries.observe s v) samples
+  in
+  let min_time = if smoke then 0.02 else 0.2 in
+  let timed = time_runs ~min_time run_scenario in
+  mk_result ~scenario:"ts-observe/p2x3" ~unit_:"sample"
+    ~params:[ ("samples", float_of_int n) ]
+    ~ops:n timed
+
+let run_obs ~smoke =
+  let null = open_out "/dev/null" in
+  let results =
+    [
+      obs_emit_case ~smoke ~sink:"off"
+        ~install:(fun () -> Obs.Trace.disable ())
+        ~teardown:(fun () -> ());
+      obs_emit_case ~smoke ~sink:"callback"
+        ~install:(fun () -> Obs.Trace.use_callback (fun _ _ -> ()))
+        ~teardown:(fun () -> Obs.Trace.disable ());
+      obs_emit_case ~smoke ~sink:"jsonl"
+        ~install:(fun () -> Obs.Trace.use_jsonl null)
+        ~teardown:(fun () -> Obs.Trace.disable ());
+      obs_span_case ~smoke;
+      obs_timeseries_case ~smoke;
+    ]
+  in
+  close_out null;
+  results
+
 (* --- JSON emission --- *)
 
 let json_escape s =

@@ -38,6 +38,14 @@ val run_eventqueue : smoke:bool -> result list
     cancel-heavy variant where 90% of pushed events are cancelled,
     exercising lazy deletion plus heap compaction. *)
 
+val run_obs : smoke:bool -> result list
+(** Observability emission overhead: one faithful trace emission site
+    (guard, construct, emit) priced with tracing off (the
+    one-load-one-branch contract), with an in-process callback sink,
+    and with the JSONL sink writing to [/dev/null]; plus
+    {!Obs.Span.start}/{!Obs.Span.finish} pairs under a callback sink
+    and {!Obs.Timeseries.observe} (three P² estimators per sample). *)
+
 val write_json : bench:string -> out_dir:string -> result list -> string
 (** [write_json ~bench ~out_dir results] writes
     [out_dir/BENCH_<bench>.json] and returns the path written. *)

@@ -19,6 +19,8 @@ type result = {
   local_offloaded : Fkey.Pattern.t list;
   unacked : int;
   reconciled : bool;
+  rtt : Obs.Timeseries.quantiles;
+      (* directive send->ack round trip under this fault profile, µs *)
 }
 
 let counter name =
@@ -83,6 +85,12 @@ let run ?(schedule = !schedule_spec) ?(seconds = 4.0) ?(drain = 3.0) () =
     in
     counter name - b
   in
+  (* Directive RTT percentiles come from Obs.Timeseries: restart the
+     estimators so this run's quantiles reflect only this fault profile,
+     and collect even when the CLI did not ask for --timeseries-out. *)
+  let ts_was_on = Obs.Timeseries.enabled () in
+  Obs.Timeseries.reset_series ();
+  Obs.Timeseries.enable ();
   Fastrak.Rule_manager.start rm;
   Testbed.run_for tb ~seconds;
   (* Quiesce: stop the offered load and let the control plane converge
@@ -90,6 +98,10 @@ let run ?(schedule = !schedule_spec) ?(seconds = 4.0) ?(drain = 3.0) () =
      demotes replay on subsequent report contacts. *)
   Workloads.Transactions.Client.stop client;
   Testbed.run_for tb ~seconds:drain;
+  let rtt =
+    Obs.Timeseries.quantiles (Obs.Timeseries.series "fastrak.directive_rtt_us")
+  in
+  if not ts_was_on then Obs.Timeseries.disable ();
   let tor_ctrl = Fastrak.Rule_manager.tor_controller rm in
   let tor_offloaded = Fastrak.Tor_controller.offloaded_patterns tor_ctrl in
   let local_offloaded =
@@ -119,6 +131,7 @@ let run ?(schedule = !schedule_spec) ?(seconds = 4.0) ?(drain = 3.0) () =
     local_offloaded;
     unacked = Fastrak.Tor_controller.unacked_directives tor_ctrl;
     reconciled = pattern_set_equal tor_offloaded local_offloaded;
+    rtt;
   }
 
 let print r =
@@ -133,6 +146,12 @@ let print r =
     r.retries r.failures r.peer_deaths;
   Printf.printf "decisions applied: %d promotions, %d demotions\n" r.promotions
     r.demotions;
+  if r.rtt.Obs.Timeseries.count > 0 then
+    Printf.printf
+      "directive RTT (us): p50=%.1f p90=%.1f p99=%.1f  (mean %.1f over %d acks)\n"
+      r.rtt.Obs.Timeseries.p50 r.rtt.Obs.Timeseries.p90
+      r.rtt.Obs.Timeseries.p99 r.rtt.Obs.Timeseries.mean
+      r.rtt.Obs.Timeseries.count;
   Printf.printf
     "after drain: %d TOR-side / %d server-side offloads, %d unacked -> %s\n"
     (List.length r.tor_offloaded)

@@ -29,6 +29,10 @@ type result = {
   unacked : int;  (** Pending + unreconciled directives after drain. *)
   reconciled : bool;
       (** TOR-side and server-side offloaded views agree after drain. *)
+  rtt : Obs.Timeseries.quantiles;
+      (** Directive send→ack round trip in µs under this fault profile
+          (streaming p50/p90/p99 from {!Obs.Timeseries}); [count] is
+          the number of acknowledged directives measured. *)
 }
 
 val run : ?schedule:string -> ?seconds:float -> ?drain:float -> unit -> result

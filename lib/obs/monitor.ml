@@ -1,0 +1,150 @@
+module Simtime = Dcsim.Simtime
+
+type mode = Warn | Strict
+
+type violation = {
+  at : Simtime.t;
+  monitor : string;
+  detail : string;
+}
+
+exception Strict_violation of violation
+
+(* Migration progress per VM, keyed by the Ipv4 string. *)
+type mg_state = Idle | Preparing
+
+type t = {
+  mode : mode;
+  mutable violations_rev : violation list;
+  counts : (string, int ref) Hashtbl.t;
+  mutable checked : int;
+  (* last Rule_pushed seq per server *)
+  last_seq : (string, int) Hashtbl.t;
+  (* span id -> kind, for begin/end pairing *)
+  open_spans : (int, string) Hashtbl.t;
+  migrations : (string, mg_state) Hashtbl.t;
+}
+
+let create ?(mode = Warn) () =
+  {
+    mode;
+    violations_rev = [];
+    counts = Hashtbl.create 8;
+    checked = 0;
+    last_seq = Hashtbl.create 8;
+    open_spans = Hashtbl.create 64;
+    migrations = Hashtbl.create 8;
+  }
+
+let mode t = t.mode
+
+let violation_to_string v =
+  Printf.sprintf "[%.6fs] %s: %s" (Simtime.to_sec v.at) v.monitor v.detail
+
+let violate t ~at ~monitor detail =
+  let v = { at; monitor; detail } in
+  t.violations_rev <- v :: t.violations_rev;
+  (match Hashtbl.find_opt t.counts monitor with
+  | Some r -> incr r
+  | None -> Hashtbl.replace t.counts monitor (ref 1));
+  if t.mode = Strict then raise (Strict_violation v)
+
+(* A little slack for float accumulation in the FPS conservation bound:
+   relative to the contracted limit, never below 1 b/s. *)
+let fps_epsilon total = Float.max 1.0 (1e-9 *. Float.abs total)
+
+let observe t at (ev : Trace.event) =
+  t.checked <- t.checked + 1;
+  match ev with
+  | Trace.Tcam_install { used; capacity; entries; _ }
+  | Trace.Tcam_evict { used; capacity; entries; _ } ->
+      if entries < 0 then
+        violate t ~at ~monitor:"tcam_capacity"
+          (Printf.sprintf "negative entry count %d" entries);
+      if used < 0 || used > capacity then
+        violate t ~at ~monitor:"tcam_capacity"
+          (Printf.sprintf "occupancy %d outside [0, %d]" used capacity)
+  | Trace.Fps_split { vm_ip; soft_bps; hard_bps; total_bps; overflow_bps; _ } ->
+      (* Conservation: each path gets its share plus the overflow
+         allowance O, so the split may exceed the contracted limit by at
+         most 2 O (lib/core/fps.ml). *)
+      let bound = total_bps +. (2.0 *. overflow_bps) +. fps_epsilon total_bps in
+      if
+        Float.is_nan soft_bps || Float.is_nan hard_bps
+        || soft_bps < 0.0 || hard_bps < 0.0
+        || soft_bps +. hard_bps > bound
+      then
+        violate t ~at ~monitor:"fps_conservation"
+          (Printf.sprintf
+             "vm %s: soft %.0f + hard %.0f > total %.0f + 2*overflow %.0f"
+             (Netcore.Ipv4.to_string vm_ip)
+             soft_bps hard_bps total_bps overflow_bps)
+  | Trace.Rule_pushed { server; seq; _ } -> (
+      match Hashtbl.find_opt t.last_seq server with
+      | Some prev when seq <= prev ->
+          violate t ~at ~monitor:"seq_monotonic"
+            (Printf.sprintf "%s: seq %d after %d" server seq prev)
+      | _ -> Hashtbl.replace t.last_seq server seq)
+  | Trace.Span_begin { span; kind; _ } ->
+      if Hashtbl.mem t.open_spans span then
+        violate t ~at ~monitor:"span_pairing"
+          (Printf.sprintf "span %d begun twice" span)
+      else Hashtbl.replace t.open_spans span kind
+  | Trace.Span_end { span; outcome } ->
+      (* "Installed without Pending" is the install state machine
+         skipping its opening state: an install span must have begun
+         before it can end — and so must every other span. *)
+      if not (Hashtbl.mem t.open_spans span) then
+        violate t ~at ~monitor:"span_pairing"
+          (Printf.sprintf "span %d ended (%s) without begin" span outcome)
+      else Hashtbl.remove t.open_spans span
+  | Trace.Migration_stage { vm_ip; stage } -> (
+      let key = Netcore.Ipv4.to_string vm_ip in
+      let state =
+        Option.value (Hashtbl.find_opt t.migrations key) ~default:Idle
+      in
+      match (state, stage) with
+      | Idle, `Prepare -> Hashtbl.replace t.migrations key Preparing
+      | Preparing, (`Commit | `Abort) -> Hashtbl.replace t.migrations key Idle
+      | Preparing, `Prepare ->
+          violate t ~at ~monitor:"migration_order"
+            (Printf.sprintf "vm %s: prepare while already preparing" key)
+      | Idle, `Commit ->
+          violate t ~at ~monitor:"migration_order"
+            (Printf.sprintf "vm %s: commit without prepare" key)
+      | Idle, `Abort ->
+          violate t ~at ~monitor:"migration_order"
+            (Printf.sprintf "vm %s: abort without prepare" key))
+  | Trace.Flow_promoted _ | Trace.Flow_demoted _ | Trace.Path_transition _
+  | Trace.Epoch_tick _ | Trace.Ctrl_drop _ | Trace.Ctrl_retry _
+  | Trace.Peer_state _ ->
+      ()
+
+let attach t = Trace.use_tee (fun now ev -> observe t now ev)
+let violations t = List.rev t.violations_rev
+let total t = List.length t.violations_rev
+let events_checked t = t.checked
+
+let counts t =
+  Hashtbl.fold (fun name r acc -> (name, !r) :: acc) t.counts []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let report t =
+  let b = Buffer.create 256 in
+  if total t = 0 then
+    Buffer.add_string b
+      (Printf.sprintf "monitors: %d events checked, 0 violations\n" t.checked)
+  else begin
+    Buffer.add_string b
+      (Printf.sprintf "monitors: %d events checked, %d violation(s)\n" t.checked
+         (total t));
+    List.iter
+      (fun (name, n) ->
+        Buffer.add_string b (Printf.sprintf "  %-18s %d\n" name n))
+      (counts t);
+    List.iter
+      (fun v ->
+        Buffer.add_string b ("  " ^ violation_to_string v ^ "\n"))
+      (violations t)
+  end;
+  Buffer.contents b

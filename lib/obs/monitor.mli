@@ -1,0 +1,75 @@
+(** Online invariant monitors over the trace stream.
+
+    A monitor watches every {!Trace.event} as it is emitted and checks
+    the control plane's structural invariants on the fly:
+
+    - {b tcam_capacity} — TCAM occupancy reported by install/evict
+      events stays within [0, capacity] and entry counts are
+      non-negative.
+    - {b fps_conservation} — an FPS re-split hands out at most the
+      contracted limit plus twice the overflow allowance
+      ([soft + hard <= total + 2 O], the bound [lib/core/fps.ml]
+      guarantees), and never a negative or NaN rate.
+    - {b seq_monotonic} — freshly issued directives ({!Trace.Rule_pushed})
+      carry strictly increasing sequence numbers per server.
+      Unreconciled-demote replays reuse their original seq by design and
+      are not announced as [Rule_pushed], so they cannot trip this.
+    - {b span_pairing} — every {!Trace.Span_end} closes a span that
+      began, and no span begins twice. In particular an install span
+      ending ["installed"] without having opened means the install state
+      machine skipped Pending.
+    - {b migration_order} — per VM, two-phase migration stages are
+      well-ordered: Prepare, then exactly one of Commit or Abort.
+
+    Violations are counted per monitor and recorded with their sim time
+    and a human-readable detail. In [Warn] mode the run continues and
+    the CLI prints a report at the end; in [Strict] mode the first
+    violation raises {!Strict_violation}, which the CLI turns into a
+    non-zero exit.
+
+    A monitor is a pure consumer: attaching one (via {!Trace.use_tee})
+    never changes what the simulation computes, only what is checked. *)
+
+type mode = Warn | Strict
+
+type violation = {
+  at : Dcsim.Simtime.t;
+  monitor : string;  (** Monitor name, e.g. ["tcam_capacity"]. *)
+  detail : string;  (** Human-readable description of the breach. *)
+}
+
+exception Strict_violation of violation
+(** Raised by a [Strict] monitor on its first violation, out of
+    {!observe} (and so out of [Trace.emit] at the offending site). *)
+
+type t
+
+val create : ?mode:mode -> unit -> t
+(** A fresh monitor with empty state; [mode] defaults to [Warn]. *)
+
+val mode : t -> mode
+
+val attach : t -> unit
+(** Subscribe to the live trace stream in front of the current sink
+    ({!Trace.use_tee}): every subsequent event is checked first, then
+    forwarded. [Trace.disable] detaches it together with the sink. *)
+
+val observe : t -> Dcsim.Simtime.t -> Trace.event -> unit
+(** Check one event. Exposed so tests and offline tooling can drive a
+    monitor over a replayed JSONL trace without a live run. *)
+
+val violations : t -> violation list
+(** Every recorded violation, oldest first. *)
+
+val counts : t -> (string * int) list
+(** Per-monitor violation counts, sorted by monitor name; monitors with
+    zero violations are omitted. *)
+
+val total : t -> int
+val events_checked : t -> int
+
+val violation_to_string : violation -> string
+
+val report : t -> string
+(** Multi-line summary: events checked, per-monitor counts, and each
+    violation. One line when clean. *)

@@ -39,21 +39,32 @@ type event =
       direction : direction;
       soft_bps : float;
       hard_bps : float;
+      total_bps : float;
+      overflow_bps : float;
     }
   | Path_transition of { vm_ip : Ipv4.t; pattern : Fkey.Pattern.t; path : path }
   | Rule_pushed of {
       server : string;
       pattern : Fkey.Pattern.t;
       push : [ `Offload | `Demote ];
+      seq : int;
     }
   | Epoch_tick of { me : string; epoch : int; interval : int }
   | Ctrl_drop of { channel : string }
-  | Ctrl_retry of { server : string; seq : int; attempt : int }
+  | Ctrl_retry of { server : string; seq : int; attempt : int; span : int }
   | Peer_state of { server : string; alive : bool }
   | Migration_stage of {
       vm_ip : Ipv4.t;
       stage : [ `Prepare | `Commit | `Abort ];
     }
+  | Span_begin of {
+      span : int;
+      parent : int;
+      kind : string;
+      name : string;
+      track : string;
+    }
+  | Span_end of { span : int; outcome : string }
 
 (* --- Pattern codec --- *)
 
@@ -174,22 +185,25 @@ let to_jsonl now event =
       kv_i b "entries" entries;
       kv_i b "used" used;
       kv_i b "capacity" capacity
-  | Fps_split { vm_ip; direction; soft_bps; hard_bps } ->
+  | Fps_split { vm_ip; direction; soft_bps; hard_bps; total_bps; overflow_bps } ->
       ev "fps_split";
       kv_ip b "vm_ip" vm_ip;
       kv_s b "dir" (match direction with Tx -> "tx" | Rx -> "rx");
       kv_f b "soft_bps" soft_bps;
-      kv_f b "hard_bps" hard_bps
+      kv_f b "hard_bps" hard_bps;
+      kv_f b "total_bps" total_bps;
+      kv_f b "overflow_bps" overflow_bps
   | Path_transition { vm_ip; pattern; path } ->
       ev "path_transition";
       kv_ip b "vm_ip" vm_ip;
       kv_pattern b "pattern" pattern;
       kv_s b "path" (match path with Software -> "software" | Express -> "express")
-  | Rule_pushed { server; pattern; push } ->
+  | Rule_pushed { server; pattern; push; seq } ->
       ev "rule_pushed";
       kv_s b "server" server;
       kv_pattern b "pattern" pattern;
-      kv_s b "push" (match push with `Offload -> "offload" | `Demote -> "demote")
+      kv_s b "push" (match push with `Offload -> "offload" | `Demote -> "demote");
+      kv_i b "seq" seq
   | Epoch_tick { me; epoch; interval } ->
       ev "epoch_tick";
       kv_s b "me" me;
@@ -198,11 +212,12 @@ let to_jsonl now event =
   | Ctrl_drop { channel } ->
       ev "ctrl_drop";
       kv_s b "channel" channel
-  | Ctrl_retry { server; seq; attempt } ->
+  | Ctrl_retry { server; seq; attempt; span } ->
       ev "ctrl_retry";
       kv_s b "server" server;
       kv_i b "seq" seq;
-      kv_i b "attempt" attempt
+      kv_i b "attempt" attempt;
+      kv_i b "span" span
   | Peer_state { server; alive } ->
       ev "peer_state";
       kv_s b "server" server;
@@ -214,13 +229,24 @@ let to_jsonl now event =
         (match stage with
         | `Prepare -> "prepare"
         | `Commit -> "commit"
-        | `Abort -> "abort"));
+        | `Abort -> "abort")
+  | Span_begin { span; parent; kind; name; track } ->
+      ev "span_begin";
+      kv_i b "span" span;
+      kv_i b "parent" parent;
+      kv_s b "kind" kind;
+      kv_s b "name" name;
+      kv_s b "track" track
+  | Span_end { span; outcome } ->
+      ev "span_end";
+      kv_i b "span" span;
+      kv_s b "outcome" outcome);
   Buffer.add_char b '}';
   Buffer.contents b
 
 (* --- Flat JSON parsing (just enough for our own encoder's output) --- *)
 
-type jv = S of string | I of int | F of float
+type json_value = S of string | I of int | F of float
 
 let parse_flat line =
   let n = String.length line in
@@ -355,7 +381,11 @@ let of_jsonl line =
         in
         let* soft_bps = flt "soft_bps" in
         let* hard_bps = flt "hard_bps" in
-        Some (Fps_split { vm_ip; direction; soft_bps; hard_bps })
+        let* total_bps = flt "total_bps" in
+        let* overflow_bps = flt "overflow_bps" in
+        Some
+          (Fps_split
+             { vm_ip; direction; soft_bps; hard_bps; total_bps; overflow_bps })
     | "path_transition" ->
         let* vm_ip = ip "vm_ip" in
         let* pattern = pat "pattern" in
@@ -375,7 +405,8 @@ let of_jsonl line =
           | Some "demote" -> Some `Demote
           | _ -> None
         in
-        Some (Rule_pushed { server; pattern; push })
+        let* seq = int "seq" in
+        Some (Rule_pushed { server; pattern; push; seq })
     | "epoch_tick" ->
         let* me = str "me" in
         let* epoch = int "epoch" in
@@ -388,7 +419,8 @@ let of_jsonl line =
         let* server = str "server" in
         let* seq = int "seq" in
         let* attempt = int "attempt" in
-        Some (Ctrl_retry { server; seq; attempt })
+        let* span = int "span" in
+        Some (Ctrl_retry { server; seq; attempt; span })
     | "peer_state" ->
         let* server = str "server" in
         let* alive =
@@ -408,6 +440,17 @@ let of_jsonl line =
           | _ -> None
         in
         Some (Migration_stage { vm_ip; stage })
+    | "span_begin" ->
+        let* span = int "span" in
+        let* parent = int "parent" in
+        let* kind = str "kind" in
+        let* name = str "name" in
+        let* track = str "track" in
+        Some (Span_begin { span; parent; kind; name; track })
+    | "span_end" ->
+        let* span = int "span" in
+        let* outcome = str "outcome" in
+        Some (Span_end { span; outcome })
     | _ -> None
   in
   Some (now, event)
@@ -424,19 +467,31 @@ let clock = ref (fun () -> Simtime.zero)
 let set_clock f = clock := f
 let enabled () = match !sink with Off -> false | Jsonl _ | Callback _ -> true
 
+let emit_to sink now event =
+  match sink with
+  | Off -> ()
+  | Jsonl oc ->
+      output_string oc (to_jsonl now event);
+      output_char oc '\n'
+  | Callback f -> f now event
+
 let emit ?now event =
   match !sink with
   | Off -> ()
-  | Jsonl oc ->
+  | s ->
       let now = match now with Some t -> t | None -> !clock () in
-      output_string oc (to_jsonl now event);
-      output_char oc '\n'
-  | Callback f ->
-      let now = match now with Some t -> t | None -> !clock () in
-      f now event
+      emit_to s now event
 
 let use_jsonl oc = sink := Jsonl oc
 let use_callback f = sink := Callback f
+
+let use_tee f =
+  let prev = !sink in
+  sink :=
+    Callback
+      (fun now event ->
+        f now event;
+        emit_to prev now event)
 
 let disable () =
   (match !sink with Jsonl oc -> flush oc | Off | Callback _ -> ());

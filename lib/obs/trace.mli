@@ -56,6 +56,11 @@ type event =
       direction : direction;
       soft_bps : float;  (** New VIF limit (Ls + O). *)
       hard_bps : float;  (** New VF limit (Lh + O). *)
+      total_bps : float;  (** The contracted limit being split (Ls + Lh). *)
+      overflow_bps : float;
+          (** The overflow allowance O added to each path, so
+              conservation means [soft + hard <= total + 2 O]
+              ({!Obs.Monitor} checks exactly this). *)
     }  (** The local controller re-adjusted a VM's FPS rate split. *)
   | Path_transition of {
       vm_ip : Netcore.Ipv4.t;
@@ -68,9 +73,15 @@ type event =
       server : string;
       pattern : Netcore.Fkey.Pattern.t;
       push : [ `Offload | `Demote ];
+      seq : int;
+          (** The rack-global sequence number the directive was issued
+              under. Freshly issued directives carry strictly
+              increasing [seq] per rack; unreconciled-demote {e
+              replays} keep their original number and are not
+              re-announced here. *)
     }
-      (** A directive left the TOR controller on the OpenFlow-ish
-          channel toward [server]'s local controller. *)
+      (** A freshly issued directive left the TOR controller on the
+          OpenFlow-ish channel toward [server]'s local controller. *)
   | Epoch_tick of {
       me : string;  (** Measurement-engine name, e.g. ["server0.me"]. *)
       epoch : int;
@@ -80,10 +91,13 @@ type event =
       (** The fault injector dropped a message on a control channel
           (probabilistic loss, a link-down window, or a one-shot
           trigger). *)
-  | Ctrl_retry of { server : string; seq : int; attempt : int }
+  | Ctrl_retry of { server : string; seq : int; attempt : int; span : int }
       (** A directive to [server] timed out unacked and is being
           retransmitted ([attempt] counts transmissions, so the first
-          retry is attempt 2). *)
+          retry is attempt 2). [span] is the directive round-trip's
+          {!Obs.Span} id (0 when the span was started while tracing
+          was off), so every retransmission of one directive is
+          attributable to the same causal span. *)
   | Peer_state of { server : string; alive : bool }
       (** The TOR controller's dead-peer detector changed its verdict
           on a server's local controller. A transition to dead demotes
@@ -96,6 +110,22 @@ type event =
           rules to the hypervisor, [`Commit] adopted the profile at the
           destination, [`Abort] re-installed the returned rules at the
           source because the destination never confirmed. *)
+  | Span_begin of {
+      span : int;  (** Unique id within the trace, from {!Obs.Span}. *)
+      parent : int;  (** Enclosing span's id, 0 for a root span. *)
+      kind : string;
+          (** Span family: ["directive"], ["install"], ["offload"],
+              ["migration"], ["aggregate"] — see [docs/METRICS.md]. *)
+      name : string;  (** Human-readable label (Perfetto slice name). *)
+      track : string;
+          (** Timeline row the span belongs to: a server name or
+              ["tor"] ({!Obs.Export} turns each track into a process
+              row). *)
+    }  (** A causal span opened. Always paired with a {!Span_end}. *)
+  | Span_end of { span : int; outcome : string }
+      (** A causal span closed; [outcome] is e.g. ["acked"],
+          ["failed"], ["installed"], ["commit"], ["abort"],
+          ["deselected"]. *)
 
 (** {1 Sinks} *)
 
@@ -115,6 +145,13 @@ val use_jsonl : out_channel -> unit
 
 val use_callback : (Dcsim.Simtime.t -> event -> unit) -> unit
 (** Route events to an in-process consumer (used by tests). *)
+
+val use_tee : (Dcsim.Simtime.t -> event -> unit) -> unit
+(** Chain a consumer {e in front of} whatever sink is currently
+    installed: every event reaches [f] first, then the previous sink
+    (if any). With no previous sink this is {!use_callback} — either
+    way {!enabled} becomes true, so e.g. an {!Obs.Monitor} can watch a
+    run that writes no trace file. {!disable} drops the whole chain. *)
 
 val disable : unit -> unit
 (** Drop the sink (flushing a JSONL channel first); {!enabled} becomes
@@ -144,3 +181,12 @@ val pattern_to_string : Netcore.Fkey.Pattern.t -> string
     wildcards, e.g. ["10.7.0.1/*/11211/*/*/7"]. *)
 
 val pattern_of_string : string -> Netcore.Fkey.Pattern.t option
+
+type json_value = S of string | I of int | F of float
+(** A scalar field of a flat JSON object. *)
+
+val parse_flat : string -> (string * json_value) list option
+(** Parse one flat JSON object (string/number values only, no nesting)
+    into its fields in textual order; [None] on malformed input. This
+    is the parser behind {!of_jsonl}, exposed for tooling that reads
+    adjacent JSONL formats (e.g. {!Obs.Export}'s validator). *)

@@ -60,30 +60,57 @@ let sample_events =
     Trace.Tcam_install { tenant; entries = 4; used = 12; capacity = 2048 };
     Trace.Tcam_evict { tenant; entries = 4; used = 8; capacity = 2048 };
     Trace.Fps_split
-      { vm_ip = vm2; direction = Trace.Tx; soft_bps = 7.5e8; hard_bps = 2.5e8 };
+      {
+        vm_ip = vm2;
+        direction = Trace.Tx;
+        soft_bps = 7.5e8;
+        hard_bps = 2.5e8;
+        total_bps = 9.0e8;
+        overflow_bps = 5.0e7;
+      };
     Trace.Fps_split
       {
         vm_ip = vm2;
         direction = Trace.Rx;
         soft_bps = 0.1 +. 0.2;  (* not exactly representable: exercises %.17g *)
         hard_bps = 1e9;
+        total_bps = 1e9 +. (0.1 +. 0.2);
+        overflow_bps = 0.0;
       };
     Trace.Path_transition
       { vm_ip = vm1; pattern = sample_pattern; path = Trace.Express };
     Trace.Path_transition
       { vm_ip = vm1; pattern = Fkey.Pattern.any; path = Trace.Software };
     Trace.Rule_pushed
-      { server = "server1"; pattern = sample_pattern; push = `Offload };
+      { server = "server1"; pattern = sample_pattern; push = `Offload; seq = 12 };
     Trace.Rule_pushed
-      { server = "server1"; pattern = full_pattern; push = `Demote };
+      { server = "server1"; pattern = full_pattern; push = `Demote; seq = 13 };
     Trace.Epoch_tick { me = "server0.me"; epoch = 17; interval = 2 };
     Trace.Ctrl_drop { channel = "server0.directive" };
-    Trace.Ctrl_retry { server = "server0"; seq = 42; attempt = 3 };
+    Trace.Ctrl_retry { server = "server0"; seq = 42; attempt = 3; span = 9 };
     Trace.Peer_state { server = "server1"; alive = false };
     Trace.Peer_state { server = "server1"; alive = true };
     Trace.Migration_stage { vm_ip = vm1; stage = `Prepare };
     Trace.Migration_stage { vm_ip = vm1; stage = `Commit };
     Trace.Migration_stage { vm_ip = vm2; stage = `Abort };
+    Trace.Span_begin
+      {
+        span = 9;
+        parent = 0;
+        kind = "directive";
+        name = "offload seq=42";
+        track = "server0";
+      };
+    Trace.Span_end { span = 9; outcome = "acked" };
+    Trace.Span_begin
+      {
+        span = 10;
+        parent = 9;
+        kind = "install";
+        name = "install";
+        track = "tor";
+      };
+    Trace.Span_end { span = 10; outcome = "failed" };
   ]
 
 let test_jsonl_round_trip () =
@@ -269,6 +296,361 @@ let test_noop_sink_identical_results () =
   checki "same offload count" offloaded_off offloaded_on;
   checki "same event count" events_off events_on
 
+(* --- codec robustness: random corruptions never raise --- *)
+
+(* Replace the value of [field] (a bare JSON number) with [nan]. *)
+let nanify field line =
+  let marker = "\"" ^ field ^ "\":" in
+  let mlen = String.length marker in
+  let n = String.length line in
+  let rec find i =
+    if i + mlen > n then None
+    else if String.sub line i mlen = marker then Some (i + mlen)
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> line
+  | Some start ->
+      let stop = ref start in
+      while !stop < n && line.[!stop] <> ',' && line.[!stop] <> '}' do
+        incr stop
+      done;
+      String.sub line 0 start ^ "nan" ^ String.sub line !stop (n - !stop)
+
+let prop_of_jsonl_corruption_safe =
+  let gen =
+    QCheck2.Gen.(
+      quad
+        (int_range 0 (List.length sample_events - 1))
+        (int_range 0 1_000_000_000)
+        (int_range 0 500)
+        (oneof [ return `Truncate; map (fun c -> `Flip c) (char_range '\000' '\255') ]))
+  in
+  QCheck2.Test.make ~name:"of_jsonl survives random corruption" ~count:500 gen
+    (fun (idx, t_ns, pos, op) ->
+      let line =
+        Trace.to_jsonl (Simtime.of_ns t_ns) (List.nth sample_events idx)
+      in
+      let n = String.length line in
+      (match op with
+      | `Truncate ->
+          (* Any strict prefix is malformed: the closing brace is gone. *)
+          let k = pos mod n in
+          if Trace.of_jsonl (String.sub line 0 k) <> None then
+            QCheck2.Test.fail_reportf "truncated line parsed: %s"
+              (String.sub line 0 k)
+      | `Flip c -> (
+          let k = pos mod n in
+          let corrupted = Bytes.of_string line in
+          Bytes.set corrupted k c;
+          (* A single byte flip may still parse (e.g. inside a server
+             name) — the property is only that it never raises and that
+             a successful parse re-encodes. *)
+          match Trace.of_jsonl (Bytes.to_string corrupted) with
+          | None -> ()
+          | Some (now, ev) -> ignore (Trace.to_jsonl now ev)));
+      true)
+
+let test_of_jsonl_nan_payloads () =
+  List.iteri
+    (fun i event ->
+      let line = Trace.to_jsonl (Simtime.of_ns ((i + 1) * 1000)) event in
+      List.iter
+        (fun field ->
+          let poisoned = nanify field line in
+          if poisoned <> line then
+            checkb
+              (Printf.sprintf "nan %s rejected (event %d)" field i)
+              true
+              (Trace.of_jsonl poisoned = None))
+        [ "t_ns"; "t"; "score"; "soft_bps"; "hard_bps"; "total_bps";
+          "overflow_bps"; "seq"; "span" ])
+    sample_events
+
+(* --- timeseries: P2 quantile estimators --- *)
+
+let test_p2_quantiles () =
+  let collector = Obs.Timeseries.create () in
+  let s = Obs.Timeseries.series ~collector "test.latency" in
+  (* A deterministic pseudo-shuffle of 1..10_000: quantiles of the
+     uniform grid are known exactly. *)
+  let n = 10_000 in
+  let lcg = ref 12345 in
+  let order = Array.init n (fun i -> i + 1) in
+  for i = n - 1 downto 1 do
+    lcg := ((!lcg * 1103515245) + 12345) land 0x3FFFFFFF;
+    let j = !lcg mod (i + 1) in
+    let tmp = order.(i) in
+    order.(i) <- order.(j);
+    order.(j) <- tmp
+  done;
+  Array.iter (fun v -> Obs.Timeseries.observe s (float_of_int v)) order;
+  let q = Obs.Timeseries.quantiles s in
+  checki "count" n q.Obs.Timeseries.count;
+  let within name expected tolerance actual =
+    checkb
+      (Printf.sprintf "%s ~ %.0f (got %.1f)" name expected actual)
+      true
+      (Float.abs (actual -. expected) <= tolerance)
+  in
+  within "p50" 5000.0 150.0 q.Obs.Timeseries.p50;
+  within "p90" 9000.0 150.0 q.Obs.Timeseries.p90;
+  within "p99" 9900.0 150.0 q.Obs.Timeseries.p99;
+  within "mean" 5000.5 1.0 q.Obs.Timeseries.mean;
+  (* Small counts fall back to exact order statistics. *)
+  let s2 = Obs.Timeseries.series ~collector "test.small" in
+  List.iter (Obs.Timeseries.observe s2) [ 30.0; 10.0; 20.0 ];
+  let q2 = Obs.Timeseries.quantiles s2 in
+  checkb "small p50 exact" true (q2.Obs.Timeseries.p50 = 20.0);
+  (* NaN observations are dropped, not propagated. *)
+  Obs.Timeseries.observe s2 Float.nan;
+  checki "nan dropped" 3 (Obs.Timeseries.quantiles s2).Obs.Timeseries.count;
+  (* reset_series clears estimator state but keeps handles. *)
+  Obs.Timeseries.reset_series ~collector ();
+  checki "reset count" 0 (Obs.Timeseries.quantiles s).Obs.Timeseries.count
+
+let test_timeseries_rows_and_output () =
+  let collector = Obs.Timeseries.create () in
+  let s = Obs.Timeseries.series ~collector "a.b" in
+  let empty = Obs.Timeseries.series ~collector "never.observed" in
+  ignore empty;
+  Obs.Timeseries.observe s 42.0;
+  Obs.Timeseries.tick ~collector ~now:(Simtime.of_ns 1_000_000) ();
+  Obs.Timeseries.observe s 58.0;
+  Obs.Timeseries.tick ~collector ~now:(Simtime.of_ns 2_000_000) ();
+  let rows = Obs.Timeseries.rows ~collector () in
+  (* Series with no observations produce no rows. *)
+  checki "two rows" 2 (List.length rows);
+  let r2 = List.nth rows 1 in
+  checki "row count grows" 2 r2.Obs.Timeseries.stats.Obs.Timeseries.count;
+  checkb "row mean" true
+    (Float.abs (r2.Obs.Timeseries.stats.Obs.Timeseries.mean -. 50.0) < 1e-9);
+  let line = Obs.Timeseries.row_to_jsonl r2 in
+  checkb "jsonl row parses flat" true (Trace.parse_flat line <> None)
+
+(* --- invariant monitors --- *)
+
+let t0 = Simtime.of_ns 1_000
+
+let test_monitor_catches_violations () =
+  let mon = Obs.Monitor.create () in
+  let obs = Obs.Monitor.observe mon t0 in
+  (* TCAM occupancy over capacity. *)
+  obs (Trace.Tcam_install { tenant; entries = 4; used = 12; capacity = 8 });
+  (* Sequence regression: 7 then 7 again on the same server. *)
+  obs
+    (Trace.Rule_pushed
+       { server = "s0"; pattern = sample_pattern; push = `Offload; seq = 7 });
+  obs
+    (Trace.Rule_pushed
+       { server = "s0"; pattern = sample_pattern; push = `Demote; seq = 7 });
+  (* A different server may reuse the number (rack-global seq space,
+     per-server subsequence). *)
+  obs
+    (Trace.Rule_pushed
+       { server = "s1"; pattern = sample_pattern; push = `Offload; seq = 7 });
+  (* FPS split handing out more than total + 2*overflow. *)
+  obs
+    (Trace.Fps_split
+       {
+         vm_ip = vm1;
+         direction = Trace.Tx;
+         soft_bps = 9e8;
+         hard_bps = 9e8;
+         total_bps = 1e9;
+         overflow_bps = 1e8;
+       });
+  (* Installed-without-Pending: span ends that never began. *)
+  obs (Trace.Span_end { span = 404; outcome = "installed" });
+  (* Migration commit without prepare. *)
+  obs (Trace.Migration_stage { vm_ip = vm2; stage = `Commit });
+  let count name =
+    Option.value (List.assoc_opt name (Obs.Monitor.counts mon)) ~default:0
+  in
+  checki "tcam violation" 1 (count "tcam_capacity");
+  checki "seq violation" 1 (count "seq_monotonic");
+  checki "fps violation" 1 (count "fps_conservation");
+  checki "span violation" 1 (count "span_pairing");
+  checki "migration violation" 1 (count "migration_order");
+  checki "total" 5 (Obs.Monitor.total mon)
+
+let test_monitor_accepts_legal_stream () =
+  let mon = Obs.Monitor.create ~mode:Obs.Monitor.Strict () in
+  let obs = Obs.Monitor.observe mon t0 in
+  obs (Trace.Tcam_install { tenant; entries = 4; used = 8; capacity = 8 });
+  obs (Trace.Tcam_evict { tenant; entries = 4; used = 4; capacity = 8 });
+  obs
+    (Trace.Rule_pushed
+       { server = "s0"; pattern = sample_pattern; push = `Offload; seq = 3 });
+  obs
+    (Trace.Rule_pushed
+       { server = "s0"; pattern = sample_pattern; push = `Demote; seq = 9 });
+  obs
+    (Trace.Fps_split
+       {
+         vm_ip = vm1;
+         direction = Trace.Rx;
+         soft_bps = 6e8;
+         hard_bps = 6e8;
+         total_bps = 1e9;
+         overflow_bps = 1e8;
+       });
+  obs
+    (Trace.Span_begin
+       { span = 1; parent = 0; kind = "offload"; name = "x"; track = "tor" });
+  obs (Trace.Span_end { span = 1; outcome = "deselected" });
+  obs (Trace.Migration_stage { vm_ip = vm2; stage = `Prepare });
+  obs (Trace.Migration_stage { vm_ip = vm2; stage = `Abort });
+  obs (Trace.Migration_stage { vm_ip = vm2; stage = `Prepare });
+  obs (Trace.Migration_stage { vm_ip = vm2; stage = `Commit });
+  checki "no violations" 0 (Obs.Monitor.total mon);
+  checki "events checked" 11 (Obs.Monitor.events_checked mon)
+
+let test_monitor_strict_raises () =
+  let mon = Obs.Monitor.create ~mode:Obs.Monitor.Strict () in
+  checkb "strict raises on first violation" true
+    (match
+       Obs.Monitor.observe mon t0
+         (Trace.Tcam_install { tenant; entries = 1; used = 9; capacity = 8 })
+     with
+    | exception Obs.Monitor.Strict_violation v ->
+        v.Obs.Monitor.monitor = "tcam_capacity"
+    | () -> false)
+
+(* Monitors attached via the tee see the same live run the sink sees,
+   and injected violations through a callback sink are caught. *)
+let test_monitor_on_live_run_clean () =
+  Trace.disable ();
+  let mon = Obs.Monitor.create () in
+  Obs.Monitor.attach mon;
+  let tb, rm, client = hot_testbed () in
+  Fastrak.Rule_manager.start rm;
+  Experiments.Testbed.run_for tb ~seconds:1.5;
+  Workloads.Transactions.Client.stop client;
+  Experiments.Testbed.run_for tb ~seconds:3.0;
+  Trace.disable ();
+  checkb "saw events" true (Obs.Monitor.events_checked mon > 0);
+  if Obs.Monitor.total mon > 0 then
+    Alcotest.failf "clean run produced violations:\n%s" (Obs.Monitor.report mon)
+
+(* The full table4 pipeline (two sub-experiments, migrations included)
+   also runs monitor-clean: every emitted event satisfies the
+   invariants end to end. *)
+let test_monitor_clean_table4 () =
+  Trace.disable ();
+  let saved = !Experiments.Memcached_eval.requests_scale in
+  Experiments.Memcached_eval.requests_scale := 0.02;
+  Fun.protect
+    ~finally:(fun () ->
+      Experiments.Memcached_eval.requests_scale := saved;
+      Trace.disable ())
+    (fun () ->
+      let mon = Obs.Monitor.create () in
+      Obs.Monitor.attach mon;
+      ignore (Experiments.Fastrak_eval.run ());
+      Trace.disable ();
+      checkb "saw events" true (Obs.Monitor.events_checked mon > 0);
+      if Obs.Monitor.total mon > 0 then
+        Alcotest.failf "table4 produced violations:\n%s"
+          (Obs.Monitor.report mon))
+
+(* --- Perfetto export --- *)
+
+let test_export_nesting_and_validation () =
+  let span ~t ~span ~parent ~kind ~name ~track =
+    (Simtime.of_ns t, Trace.Span_begin { span; parent; kind; name; track })
+  in
+  let fin ~t ~span ~outcome = (Simtime.of_ns t, Trace.Span_end { span; outcome }) in
+  let events =
+    [
+      (* Parent enclosing a child (same track: nested on one lane). *)
+      span ~t:100 ~span:1 ~parent:0 ~kind:"offload" ~name:"A" ~track:"tor";
+      span ~t:200 ~span:2 ~parent:1 ~kind:"install" ~name:"B" ~track:"tor";
+      (* Overlapping-but-not-nested span: must land on another lane. *)
+      span ~t:300 ~span:3 ~parent:0 ~kind:"offload" ~name:"C" ~track:"tor";
+      fin ~t:400 ~span:2 ~outcome:"installed";
+      (* A span on another track, plus instants. *)
+      span ~t:450 ~span:4 ~parent:2 ~kind:"directive" ~name:"D" ~track:"server0";
+      ( Simtime.of_ns 500,
+        Trace.Ctrl_retry { server = "server0"; seq = 1; attempt = 2; span = 4 } );
+      (Simtime.of_ns 550, Trace.Ctrl_drop { channel = "server0.uplink" });
+      fin ~t:600 ~span:1 ~outcome:"deselected";
+      fin ~t:700 ~span:3 ~outcome:"deselected";
+      (* Span 4 is never finished: closed synthetically at 800. *)
+      ( Simtime.of_ns 800,
+        Trace.Tcam_install { tenant; entries = 1; used = 3; capacity = 8 } );
+    ]
+  in
+  let chrome = Obs.Export.convert events in
+  (match Obs.Export.validate chrome with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "export does not validate: %s" e);
+  let spans_of name =
+    List.find
+      (fun e -> e.Obs.Export.ph = "B" && e.Obs.Export.name = name)
+      chrome
+  in
+  let a = spans_of "A" and b = spans_of "B" and c = spans_of "C" in
+  checki "child shares parent lane" a.Obs.Export.tid b.Obs.Export.tid;
+  checkb "overlap gets its own lane" true (c.Obs.Export.tid <> a.Obs.Export.tid);
+  checkb "lane 0 reserved for instants" true
+    (List.for_all
+       (fun e -> e.Obs.Export.ph <> "B" || e.Obs.Export.tid > 0)
+       chrome);
+  (* The unterminated span is closed at the final trace instant. *)
+  let d_end =
+    List.find
+      (fun e -> e.Obs.Export.ph = "E" && e.Obs.Export.name = "D")
+      chrome
+  in
+  checkb "unterminated closed at trace end" true
+    (Float.abs (d_end.Obs.Export.ts_us -. 0.8) < 1e-9);
+  (* Instants and the counter made it through. *)
+  checkb "retry instant" true
+    (List.exists
+       (fun e -> e.Obs.Export.ph = "i" && e.Obs.Export.name = "retry seq=1")
+       chrome);
+  checkb "tcam counter" true
+    (List.exists (fun e -> e.Obs.Export.ph = "C") chrome);
+  (* Tamper check: the validator rejects a broken stream. *)
+  let broken =
+    List.filter
+      (fun e -> not (e.Obs.Export.ph = "E" && e.Obs.Export.name = "B"))
+      chrome
+  in
+  checkb "validator rejects unclosed B" true
+    (match Obs.Export.validate broken with Error _ -> true | Ok _ -> false)
+
+let test_export_of_live_run_round_trips () =
+  Trace.disable ();
+  Obs.Span.reset ();
+  let dir = Filename.temp_file "fastrak_trace" "" in
+  Sys.remove dir;
+  let jsonl = dir ^ ".jsonl" and json = dir ^ ".json" in
+  let oc = open_out jsonl in
+  Trace.use_jsonl oc;
+  let tb, rm, client = hot_testbed () in
+  Fastrak.Rule_manager.start rm;
+  Experiments.Testbed.run_for tb ~seconds:1.5;
+  Workloads.Transactions.Client.stop client;
+  Experiments.Testbed.run_for tb ~seconds:3.0;
+  Trace.disable ();
+  close_out oc;
+  (match Obs.Export.convert_file ~input:jsonl ~output:json with
+  | Error e -> Alcotest.failf "convert_file failed: %s" e
+  | Ok { Obs.Export.events_in; skipped; events_out } ->
+      checkb "events in" true (events_in > 0);
+      checki "no malformed lines" 0 skipped;
+      checkb "events out" true (events_out > 0);
+      (* Spans from the live control plane made it into the export. *)
+      checkb "has duration events" true (events_out > events_in / 10));
+  (* The written file itself re-parses and passes the validator. *)
+  (match Obs.Export.validate_file json with
+  | Ok n -> checkb "validated events" true (n > 0)
+  | Error e -> Alcotest.failf "exported file does not validate: %s" e);
+  Sys.remove jsonl;
+  Sys.remove json
+
 (* --- metrics registry --- *)
 
 let test_registry_kinds_and_diff () =
@@ -322,4 +704,15 @@ let suite =
     t "live run traces and metrics" test_trace_and_metrics_of_live_run;
     t "no-op sink identical results" test_noop_sink_identical_results;
     t "registry kinds and diff" test_registry_kinds_and_diff;
+    QCheck_alcotest.to_alcotest prop_of_jsonl_corruption_safe;
+    t "jsonl rejects nan payloads" test_of_jsonl_nan_payloads;
+    t "p2 quantiles" test_p2_quantiles;
+    t "timeseries rows and output" test_timeseries_rows_and_output;
+    t "monitor catches violations" test_monitor_catches_violations;
+    t "monitor accepts legal stream" test_monitor_accepts_legal_stream;
+    t "monitor strict raises" test_monitor_strict_raises;
+    t "monitor clean on live run" test_monitor_on_live_run_clean;
+    t "monitor clean on table4" test_monitor_clean_table4;
+    t "export nesting and validation" test_export_nesting_and_validation;
+    t "export live run round trips" test_export_of_live_run_round_trips;
   ]
