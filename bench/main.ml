@@ -9,8 +9,8 @@
    "quick" skips the slowest reproductions.
 
    Scalability mode: dune exec bench/main.exe -- bench
-   [decision|measurement|eventqueue]* [--smoke] [--out-dir DIR]
-   runs the named scenario groups (all three when none are named) and
+   [decision|measurement|eventqueue|obs|vswitch]* [--smoke] [--out-dir DIR]
+   runs the named scenario groups (all of them when none are named) and
    writes one BENCH_<group>.json each; --smoke shrinks sizes so the
    @bench-smoke alias stays cheap enough for every `dune runtest`.
    Scenario list and JSON schema: docs/BENCH.md. *)
@@ -236,7 +236,7 @@ let run_bench_mode args =
   let smoke, out_dir, groups = parse (false, ".", []) args in
   let groups =
     match groups with
-    | [] -> [ "decision"; "measurement"; "eventqueue"; "obs" ]
+    | [] -> [ "decision"; "measurement"; "eventqueue"; "obs"; "vswitch" ]
     | l -> l
   in
   line ();
@@ -251,6 +251,7 @@ let run_bench_mode args =
         | "measurement" -> Bench_scenarios.run_measurement ~smoke
         | "eventqueue" -> Bench_scenarios.run_eventqueue ~smoke
         | "obs" -> Bench_scenarios.run_obs ~smoke
+        | "vswitch" -> Bench_scenarios.run_vswitch ~smoke
         | g -> failwith ("unknown bench group: " ^ g)
       in
       let path = Bench_scenarios.write_json ~bench:group ~out_dir results in

@@ -157,6 +157,18 @@ let run_cmd =
              A $(b,.csv) suffix selects CSV; anything else writes JSONL. \
              See docs/METRICS.md.")
   in
+  let cache_capacity =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "cache-capacity" ] ~docv:"N"
+          ~doc:
+            "Cap each VIF's datapath flow cache at $(docv) exact-match \
+             entries; the wildcard megaflow tier gets $(docv)/4 (minimum \
+             16). Small values force LRU churn and keep the revalidator \
+             busy; $(b,0) disables the exact tier so every hit comes from \
+             a megaflow. Default: the built-in 8192/2048 config.")
+  in
   let monitors =
     let parse = function
       | "off" -> Ok `Off
@@ -182,8 +194,21 @@ let run_cmd =
   in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
-      const (fun scale trace faults metrics_out timeseries_out monitors ids ->
+      const (fun scale trace faults metrics_out timeseries_out cache_capacity
+                 monitors ids ->
           Experiments.Memcached_eval.requests_scale := scale;
+          (match cache_capacity with
+          | None -> ()
+          | Some n when n < 0 ->
+              Printf.eprintf "fastrak_sim: --cache-capacity must be >= 0\n";
+              Stdlib.exit 1
+          | Some n ->
+              Vswitch.Flow_cache.default_config :=
+                {
+                  !Vswitch.Flow_cache.default_config with
+                  Vswitch.Flow_cache.exact_capacity = n;
+                  megaflow_capacity = Stdlib.max 16 (n / 4);
+                });
           (match Faults.Schedule.profile faults with
           | Ok _ -> Experiments.Chaos_eval.schedule_spec := faults
           | Error msg ->
@@ -259,7 +284,8 @@ let run_cmd =
               else Experiments.Metric_snapshot.write_json oc;
               close_out oc
           | _ -> ())
-      $ scale $ trace $ faults $ metrics_out $ timeseries_out $ monitors $ ids)
+      $ scale $ trace $ faults $ metrics_out $ timeseries_out $ cache_capacity
+      $ monitors $ ids)
 
 let trace_export_cmd =
   let doc =

@@ -27,12 +27,18 @@ let pp_config ppf c =
   | tags -> Format.pp_print_string ppf ("ovs+" ^ String.concat "+" tags)
 
 (* Per-unit vhost costs, microseconds. Calibration (burst test, two
-   units per transaction through each host's vhost): 2 x 14.0 -> 35.7K
-   TPS ceiling (paper ~34K); 2 x 19.0 -> 26.3K (paper ~25K);
-   2 x 16.0 -> 31.3K (paper ~30K). Security-rule checking itself is
-   O(1) against the kernel cache and adds only a hair (the paper
-   measured no difference with 10,000 rules installed). *)
-let vhost_base_us = 14.0
+   units per transaction through each host's vhost, each wakeup batch
+   holding a single flow): 2 x (13.7 + 0.3 lookup) -> 35.7K TPS ceiling
+   (paper ~34K); likewise ~26K and ~31K for the tunneling and
+   rate-limit paths. The flow-cache lookup is split out of the base
+   cost so a vhost wakeup can amortise it across a batch: packets of
+   the same flow in one batch share a single classification
+   ([classify_lookup_us] is charged per distinct flow per batch, see
+   lib/vswitch/ovs.ml). Security-rule checking itself is O(1) against
+   the kernel cache and adds only a hair (the paper measured no
+   difference with 10,000 rules installed). *)
+let vhost_base_us = 13.7
+let classify_lookup_us = 0.3
 let vhost_security_us = 0.2
 let vhost_tunnel_us = 5.0
 let vhost_htb_us = 2.0

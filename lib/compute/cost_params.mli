@@ -38,6 +38,14 @@ val pp_config : Format.formatter -> vswitch_config -> unit
 
 (* --- vhost station (per-VIF, serialized) --- *)
 
+val classify_lookup_us : float
+(** Flow-cache lookup / classification dispatch cost, microseconds.
+    Charged once per {e distinct flow} per vhost wakeup batch (packets
+    of the same flow in a batch share one classification), on top of
+    {!vhost_serial_cost}. A single-flow batch therefore costs
+    [vhost_base + classify_lookup] = 14.0 us, matching the original
+    unbatched calibration. *)
+
 val vhost_serial_cost : vswitch_config -> unit_bytes:int -> Dcsim.Simtime.span
 (** CPU time the VIF's vhost thread spends on one processing unit. *)
 

@@ -334,4 +334,13 @@ let take_profile t ~vm_ip =
 let adopt_profile t p =
   Hashtbl.replace t.profiles (ip_key (Demand_profile.vm_ip p)) p
 
+let revalidate_vm_cache t ~vm_ip ~reason =
+  match Host.Server.find_attached t.server ~vm_ip with
+  | None -> ()
+  | Some a ->
+      ignore
+        (Vswitch.Flow_cache.revalidate
+           (Vswitch.Ovs.vif_cache a.Host.Server.vif)
+           ~now:(Engine.now t.engine) ~reason)
+
 let measurement_engine t = t.me

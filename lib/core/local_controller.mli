@@ -86,6 +86,12 @@ val take_profile : t -> vm_ip:Netcore.Ipv4.t -> Demand_profile.t option
 val adopt_profile : t -> Demand_profile.t -> unit
 (** Install a migrated-in VM's profile (S4). *)
 
+val revalidate_vm_cache : t -> vm_ip:Netcore.Ipv4.t -> reason:string -> unit
+(** Revalidate the datapath flow cache of the VM's VIF on this server
+    (no-op if the VM is not resident). Called by the rule manager
+    around VM migration stages so verdicts cached before the move are
+    re-checked against the post-move rule state. *)
+
 val measurement_engine : t -> Measurement_engine.t
 (** The controller's own measurement engine (for inspection in tests
     and experiments). *)

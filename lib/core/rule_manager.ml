@@ -130,7 +130,17 @@ let abort_vm_migration t mg =
         | Some local -> Local_controller.adopt_profile local profile
         | None -> ())
     | _ -> ());
-    Tor_controller.reinstall t.tor_ctrl mg.mg_returned
+    Tor_controller.reinstall t.tor_ctrl mg.mg_returned;
+    (* Verdicts cached during the preparing window may reflect the
+       demoted rule state; re-check them now that the rules are back. *)
+    (match mg.mg_source with
+    | Some source -> (
+        match List.assoc_opt source t.locals with
+        | Some local ->
+            Local_controller.revalidate_vm_cache local ~vm_ip:mg.mg_vm_ip
+              ~reason:"vm_migration"
+        | None -> ())
+    | None -> ())
   end
 
 let begin_vm_migration t ~tenant ~vm_ip =
@@ -166,6 +176,16 @@ let begin_vm_migration t ~tenant ~vm_ip =
     }
   in
   emit_stage t mg `Prepare;
+  (* The demote-all above blocks and re-routes the VM's offloaded
+     aggregates; revalidate its VIF cache so no pre-migration verdict
+     outlives the prepare. *)
+  (match source with
+  | Some name -> (
+      match List.assoc_opt name t.locals with
+      | Some local ->
+          Local_controller.revalidate_vm_cache local ~vm_ip ~reason:"vm_migration"
+      | None -> ())
+  | None -> ());
   mg.mg_timer <-
     Some
       (Engine.after t.engine t.config.Config.migration_timeout (fun () ->
@@ -187,6 +207,8 @@ let commit_vm_migration t mg ~new_server =
         (match mg.mg_profile with
         | Some profile -> Local_controller.adopt_profile local profile
         | None -> ());
+        Local_controller.revalidate_vm_cache local ~vm_ip:mg.mg_vm_ip
+          ~reason:"vm_migration";
         true
       end
 

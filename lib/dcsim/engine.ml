@@ -32,6 +32,9 @@ let cancel t handle = Event_queue.cancel t.queue handle
 
 let every t ?start span fn =
   let first = match start with Some s -> s | None -> Simtime.add t.clock span in
+  (* Clamp to now so a periodic task can be started from inside an event
+     at (or before) the current instant without tripping [at]'s guard. *)
+  let first = Simtime.max first t.clock in
   let rec tick () =
     match fn () with
     | `Stop -> ()

@@ -22,7 +22,10 @@ val cancel : t -> handle -> bool
 
 val every :
   t -> ?start:Simtime.t -> Simtime.span -> (unit -> [ `Continue | `Stop ]) -> unit
-(** Periodic callback; reschedules itself until it returns [`Stop]. *)
+(** Periodic callback; reschedules itself until it returns [`Stop].
+    A [start] at or before the current clock is clamped to now, so a
+    periodic task can be kicked off from inside an event at the current
+    instant. *)
 
 val run : ?until:Simtime.t -> t -> unit
 (** Execute events in order. With [until], events scheduled later than

@@ -33,8 +33,10 @@ module Summary = struct
   let mean t = if t.count = 0 then 0. else t.mean
   let variance t = if t.count < 2 then 0. else t.m2 /. float_of_int (t.count - 1)
   let stddev t = sqrt (variance t)
-  let min t = if t.count = 0 then 0. else t.min_v
-  let max t = if t.count = 0 then 0. else t.max_v
+  (* nan, not 0., when empty: a 0. would be indistinguishable from a
+     real observed zero in snapshots of signed series. *)
+  let min t = if t.count = 0 then Float.nan else t.min_v
+  let max t = if t.count = 0 then Float.nan else t.max_v
 end
 
 module Histogram = struct

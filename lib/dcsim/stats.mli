@@ -19,8 +19,13 @@ module Summary : sig
 
   val variance : t -> float
   val stddev : t -> float
+
   val min : t -> float
+  (** [nan] when empty (rendered as [null] in metric snapshots), so an
+      empty summary cannot be mistaken for one that observed 0. *)
+
   val max : t -> float
+  (** [nan] when empty; see {!min}. *)
 end
 
 module Histogram : sig

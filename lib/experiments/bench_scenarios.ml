@@ -335,6 +335,132 @@ let run_obs ~smoke =
   close_out null;
   results
 
+(* --- vswitch datapath flow cache (docs/BENCH.md) ---
+
+   Prices the two-tier cache against the work it avoids: a full masked
+   classification over the VIF's ACL list (what every upcall pays).
+   The rule set is shaped like a real policy — a pile of non-matching
+   port carve-outs over a terminal allow-all — so the uncached scan is
+   O(rules) while the deciding scan examines only dst_port, giving the
+   cache wide megaflows. *)
+
+module Cache = Vswitch.Flow_cache
+
+let mk_cache_policy ~rules =
+  let p = Rules.Policy.create ~tenant ~vm_ip:(ip_of_index 1) () in
+  for i = 1 to rules - 1 do
+    Rules.Policy.add_acl p
+      (Rules.Security_rule.make ~priority:9
+         { Fkey.Pattern.any with Fkey.Pattern.dst_port = Some (40_000 + i) }
+         Deny)
+  done;
+  Rules.Policy.add_acl p
+    (Rules.Security_rule.make ~priority:5 Fkey.Pattern.any Allow);
+  p
+
+(* Distinct 5-tuples spread over 64 dst ports: 10k flows condense into
+   64 megaflow entries (the mask is dst_port only). *)
+let mk_cache_flows n =
+  Array.init n (fun i ->
+      Fkey.make ~src_ip:(ip_of_index i) ~dst_ip:(ip_of_index (n + i))
+        ~src_port:(1024 + (i land 0xFFFF))
+        ~dst_port:(80 + (i land 63))
+        ~proto:Fkey.Tcp ~tenant)
+
+let cache_config ~exact ~megaflow =
+  {
+    Cache.exact_capacity = exact;
+    megaflow_capacity = megaflow;
+    (* Effectively no idle eviction: the bench drives no engine clock. *)
+    idle_timeout = Simtime.span_sec 1e6;
+    revalidate_period = Simtime.span_ms 500.0;
+  }
+
+let cache_tier_cases ~smoke ~flows:n ~rules =
+  let p = mk_cache_policy ~rules in
+  let flows = mk_cache_flows n in
+  let now = Simtime.of_ms 1.0 in
+  let min_time = if smoke then 0.02 else 0.2 in
+  (* Baseline: what every lookup would cost with no cache at all — the
+     upcall's classification scan. *)
+  let baseline =
+    time_runs ~min_time ~min_runs:1 (fun () ->
+        Array.iter (fun f -> ignore (Rules.Policy.classify_masked p f)) flows)
+  in
+  let tier_case ~label ~exact_capacity =
+    let c =
+      Cache.create
+        ~config:(cache_config ~exact:exact_capacity ~megaflow:4096)
+        ~name:"bench" ~policy:p ()
+    in
+    Array.iter (fun f -> ignore (Cache.install c f ~now)) flows;
+    let timed =
+      time_runs ~min_time (fun () ->
+          Array.iter (fun f -> ignore (Cache.lookup c f ~now)) flows)
+    in
+    mk_result
+      ~scenario:(Printf.sprintf "cache/%s-%df-%dr" label n rules)
+      ~unit_:"lookup"
+      ~params:
+        [
+          ("flows", float_of_int n);
+          ("acl_rules", float_of_int rules);
+          ("exact_entries", float_of_int (Cache.exact_count c));
+          ("megaflow_entries", float_of_int (Cache.megaflow_count c));
+        ]
+      ~ops:n ~baseline timed
+  in
+  [
+    tier_case ~label:"exact" ~exact_capacity:(2 * n);
+    (* exact tier disabled: every lookup is served by the megaflow
+       tier — the cold-flow fast path. *)
+    tier_case ~label:"megaflow" ~exact_capacity:0;
+  ]
+
+(* Steady-state churn with the exact tier capped well below the flow
+   count: every megaflow hit promotes into the exact tier, which
+   evicts LRU-style on each insert. Occupancy must stay at the cap. *)
+let cache_churn_case ~smoke ~flows:n ~rules ~capacity =
+  let p = mk_cache_policy ~rules in
+  let flows = mk_cache_flows n in
+  let now = Simtime.of_ms 1.0 in
+  let c =
+    Cache.create
+      ~config:(cache_config ~exact:capacity ~megaflow:128)
+      ~name:"bench.churn" ~policy:p ()
+  in
+  let run_scenario () =
+    Array.iter
+      (fun f ->
+        match Cache.lookup c f ~now with
+        | Some _ -> ()
+        | None -> ignore (Cache.install c f ~now))
+      flows
+  in
+  let min_time = if smoke then 0.02 else 0.2 in
+  let timed = time_runs ~min_time run_scenario in
+  mk_result
+    ~scenario:(Printf.sprintf "cache/capped-lru-%df-%dcap" n capacity)
+    ~unit_:"lookup"
+    ~params:
+      [
+        ("flows", float_of_int n);
+        ("acl_rules", float_of_int rules);
+        ("exact_capacity", float_of_int capacity);
+        ("exact_entries", float_of_int (Cache.exact_count c));
+        ("megaflow_entries", float_of_int (Cache.megaflow_count c));
+        ("evictions", float_of_int (Cache.evictions c));
+      ]
+    ~ops:n timed
+
+let run_vswitch ~smoke =
+  if smoke then
+    cache_tier_cases ~smoke ~flows:500 ~rules:64
+    @ [ cache_churn_case ~smoke ~flows:500 ~rules:64 ~capacity:128 ]
+  else
+    cache_tier_cases ~smoke ~flows:10_000 ~rules:256
+    @ [ cache_churn_case ~smoke ~flows:10_000 ~rules:256 ~capacity:1_024 ]
+
 (* --- JSON emission --- *)
 
 let json_escape s =

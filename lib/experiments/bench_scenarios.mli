@@ -46,6 +46,15 @@ val run_obs : smoke:bool -> result list
     {!Obs.Span.start}/{!Obs.Span.finish} pairs under a callback sink
     and {!Obs.Timeseries.observe} (three P² estimators per sample). *)
 
+val run_vswitch : smoke:bool -> result list
+(** Datapath flow-cache lookups over 10k distinct flows (smoke: 500)
+    against a 256-rule policy: exact-tier hits, megaflow-tier hits
+    (exact tier disabled), and a capped-LRU churn scenario where every
+    megaflow hit promotes into an exact tier sized an order of
+    magnitude below the flow count. [baseline_ns_per_op] on the tier
+    scenarios is the uncached full classification scan — the cost every
+    lookup would pay without the cache. *)
+
 val write_json : bench:string -> out_dir:string -> result list -> string
 (** [write_json ~bench ~out_dir results] writes
     [out_dir/BENCH_<bench>.json] and returns the path written. *)

@@ -39,6 +39,7 @@ let create ~engine ~name ~ip ~config ~tor =
   let ovs =
     Vswitch.Ovs.create ~engine ~config ~host_pool ~server_ip:ip
       ~transmit:(fun pkt -> Fabric.Link.transmit vswitch_uplink pkt)
+      ()
   in
   let sriov = Nic.Sriov.create ~engine ~host_pool ~wire:sriov_uplink () in
   Tor.Tor_switch.attach_server tor ~server_ip:ip

@@ -172,4 +172,103 @@ module Pattern = struct
       (pp_field Format.pp_print_int) p.dst_port
       (pp_field (fun ppf pr -> Format.pp_print_string ppf (proto_to_string pr)))
       p.proto
+
+  module Mask = struct
+    type pattern = t
+
+    type t = {
+      src_ip : bool;
+      dst_ip : bool;
+      src_port : bool;
+      dst_port : bool;
+      proto : bool;
+      tenant : bool;
+    }
+
+    let none =
+      {
+        src_ip = false;
+        dst_ip = false;
+        src_port = false;
+        dst_port = false;
+        proto = false;
+        tenant = false;
+      }
+
+    let all =
+      {
+        src_ip = true;
+        dst_ip = true;
+        src_port = true;
+        dst_port = true;
+        proto = true;
+        tenant = true;
+      }
+
+    let union a b =
+      {
+        src_ip = a.src_ip || b.src_ip;
+        dst_ip = a.dst_ip || b.dst_ip;
+        src_port = a.src_port || b.src_port;
+        dst_port = a.dst_port || b.dst_port;
+        proto = a.proto || b.proto;
+        tenant = a.tenant || b.tenant;
+      }
+
+    let of_pattern (p : pattern) =
+      {
+        src_ip = Option.is_some p.src_ip;
+        dst_ip = Option.is_some p.dst_ip;
+        src_port = Option.is_some p.src_port;
+        dst_port = Option.is_some p.dst_port;
+        proto = Option.is_some p.proto;
+        tenant = Option.is_some p.tenant;
+      }
+
+    let project m (k : fkey) : pattern =
+      {
+        src_ip = (if m.src_ip then Some k.src_ip else None);
+        dst_ip = (if m.dst_ip then Some k.dst_ip else None);
+        src_port = (if m.src_port then Some k.src_port else None);
+        dst_port = (if m.dst_port then Some k.dst_port else None);
+        proto = (if m.proto then Some k.proto else None);
+        tenant = (if m.tenant then Some k.tenant else None);
+      }
+
+    let bits m =
+      (if m.src_ip then 1 else 0)
+      + (if m.dst_ip then 2 else 0)
+      + (if m.src_port then 4 else 0)
+      + (if m.dst_port then 8 else 0)
+      + (if m.proto then 16 else 0)
+      + if m.tenant then 32 else 0
+
+    let equal a b = a = b
+    let compare a b = Stdlib.compare (bits a) (bits b)
+    let hash m = bits m
+
+    let field_count m =
+      (if m.src_ip then 1 else 0)
+      + (if m.dst_ip then 1 else 0)
+      + (if m.src_port then 1 else 0)
+      + (if m.dst_port then 1 else 0)
+      + (if m.proto then 1 else 0)
+      + if m.tenant then 1 else 0
+
+    let pp ppf m =
+      let names =
+        List.filter_map
+          (fun (on, n) -> if on then Some n else None)
+          [
+            (m.src_ip, "src_ip");
+            (m.dst_ip, "dst_ip");
+            (m.src_port, "src_port");
+            (m.dst_port, "dst_port");
+            (m.proto, "proto");
+            (m.tenant, "tenant");
+          ]
+      in
+      Format.fprintf ppf "mask(%s)"
+        (if names = [] then "-" else String.concat "," names)
+  end
 end

@@ -87,4 +87,43 @@ module Pattern : sig
   (** Hash table keyed by pattern — the O(1) membership structure the
       decision engine and TOR controller use for offloaded-set lookups
       at rack-scale flow counts. *)
+
+  module Mask : sig
+    (** Which of the 6-tuple fields a classification decision examined.
+
+        This is the megaflow-cache mask: classifying a flow records the
+        union of fields of every rule the scan visited, and
+        [project mask flow] is then the widest wildcard pattern that is
+        guaranteed to receive the same verdict as [flow] — one cache
+        entry absorbs every flow that agrees on the masked fields. *)
+
+    type pattern := t
+
+    type t = {
+      src_ip : bool;
+      dst_ip : bool;
+      src_port : bool;
+      dst_port : bool;
+      proto : bool;
+      tenant : bool;
+    }
+
+    val none : t
+    val all : t
+    val union : t -> t -> t
+
+    val of_pattern : pattern -> t
+    (** The fields a pattern constrains (its [Some] fields). *)
+
+    val project : t -> fkey -> pattern
+    (** Pin the masked fields to the flow's values, wildcard the rest. *)
+
+    val field_count : t -> int
+    (** Number of masked fields, 0–6. *)
+
+    val equal : t -> t -> bool
+    val compare : t -> t -> int
+    val hash : t -> int
+    val pp : Format.formatter -> t -> unit
+  end
 end

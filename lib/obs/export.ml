@@ -125,6 +125,17 @@ let convert events =
       | Trace.Tcam_install { used; _ } | Trace.Tcam_evict { used; _ } ->
           note_track "tor";
           counters := (ts, "tor", "tcam.used", used) :: !counters
+      | Trace.Cache_invalidate { vif; reason; dropped; exact; megaflow } ->
+          instant ts "vswitch"
+            (Printf.sprintf "cache invalidate %s (%s)" vif reason)
+            [
+              ("dropped", Trace.I dropped);
+              ("exact", Trace.I exact);
+              ("megaflow", Trace.I megaflow);
+            ]
+      (* Hit/miss events are per-lookup volume; exporting each would
+         swamp the timeline, so they are deliberately not converted. *)
+      | Trace.Cache_hit _ | Trace.Cache_miss _
       | Trace.Fps_split _ | Trace.Path_transition _ | Trace.Rule_pushed _
       | Trace.Epoch_tick _ ->
           ())

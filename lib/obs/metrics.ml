@@ -109,8 +109,9 @@ let value_of = function
           count = Stats.Summary.count s;
           sum = Stats.Summary.sum s;
           mean = Stats.Summary.mean s;
-          vmin = (if Stats.Summary.count s = 0 then 0.0 else Stats.Summary.min s);
-          vmax = (if Stats.Summary.count s = 0 then 0.0 else Stats.Summary.max s);
+          (* nan when empty; json_f renders it as null. *)
+          vmin = Stats.Summary.min s;
+          vmax = Stats.Summary.max s;
         }
   | Histogram h ->
       Histogram_v

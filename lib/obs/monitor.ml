@@ -115,9 +115,24 @@ let observe t at (ev : Trace.event) =
       | Idle, `Abort ->
           violate t ~at ~monitor:"migration_order"
             (Printf.sprintf "vm %s: abort without prepare" key))
+  | Trace.Cache_hit { vif; flow; tier; cached; fresh } ->
+      (* The datapath-cache coherence invariant: a verdict served from
+         any cache tier must equal a fresh full-policy evaluation taken
+         at the same instant (the emitter computes [fresh] at hit
+         time). *)
+      if not (String.equal cached fresh) then
+        violate t ~at ~monitor:"cache_coherence"
+          (Format.asprintf "%s: %s hit on %a served %s but policy says %s" vif
+             (match tier with `Exact -> "exact" | `Megaflow -> "megaflow")
+             Netcore.Fkey.Pattern.pp flow cached fresh)
+  | Trace.Cache_invalidate { vif; dropped; exact; megaflow; reason } ->
+      if dropped < 0 || exact < 0 || megaflow < 0 then
+        violate t ~at ~monitor:"cache_coherence"
+          (Printf.sprintf "%s: negative count in invalidate (%s): %d/%d/%d" vif
+             reason dropped exact megaflow)
   | Trace.Flow_promoted _ | Trace.Flow_demoted _ | Trace.Path_transition _
   | Trace.Epoch_tick _ | Trace.Ctrl_drop _ | Trace.Ctrl_retry _
-  | Trace.Peer_state _ ->
+  | Trace.Peer_state _ | Trace.Cache_miss _ ->
       ()
 
 let attach t = Trace.use_tee (fun now ev -> observe t now ev)

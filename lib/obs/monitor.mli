@@ -20,6 +20,10 @@
       machine skipped Pending.
     - {b migration_order} — per VM, two-phase migration stages are
       well-ordered: Prepare, then exactly one of Commit or Abort.
+    - {b cache_coherence} — a verdict served from the datapath flow
+      cache equals the fresh policy evaluation carried in the same
+      {!Trace.Cache_hit} event (emitters compute it at hit time), and
+      invalidation events never report negative counts.
 
     Violations are counted per monitor and recorded with their sim time
     and a human-readable detail. In [Warn] mode the run continues and

@@ -65,6 +65,21 @@ type event =
       track : string;
     }
   | Span_end of { span : int; outcome : string }
+  | Cache_hit of {
+      vif : string;
+      flow : Fkey.Pattern.t;
+      tier : [ `Exact | `Megaflow ];
+      cached : string;
+      fresh : string;
+    }
+  | Cache_miss of { vif : string; flow : Fkey.Pattern.t }
+  | Cache_invalidate of {
+      vif : string;
+      reason : string;
+      dropped : int;
+      exact : int;
+      megaflow : int;
+    }
 
 (* --- Pattern codec --- *)
 
@@ -240,7 +255,25 @@ let to_jsonl now event =
   | Span_end { span; outcome } ->
       ev "span_end";
       kv_i b "span" span;
-      kv_s b "outcome" outcome);
+      kv_s b "outcome" outcome
+  | Cache_hit { vif; flow; tier; cached; fresh } ->
+      ev "cache_hit";
+      kv_s b "vif" vif;
+      kv_pattern b "flow" flow;
+      kv_s b "tier" (match tier with `Exact -> "exact" | `Megaflow -> "megaflow");
+      kv_s b "cached" cached;
+      kv_s b "fresh" fresh
+  | Cache_miss { vif; flow } ->
+      ev "cache_miss";
+      kv_s b "vif" vif;
+      kv_pattern b "flow" flow
+  | Cache_invalidate { vif; reason; dropped; exact; megaflow } ->
+      ev "cache_invalidate";
+      kv_s b "vif" vif;
+      kv_s b "reason" reason;
+      kv_i b "dropped" dropped;
+      kv_i b "exact" exact;
+      kv_i b "megaflow" megaflow);
   Buffer.add_char b '}';
   Buffer.contents b
 
@@ -451,6 +484,29 @@ let of_jsonl line =
         let* span = int "span" in
         let* outcome = str "outcome" in
         Some (Span_end { span; outcome })
+    | "cache_hit" ->
+        let* vif = str "vif" in
+        let* flow = pat "flow" in
+        let* tier =
+          match str "tier" with
+          | Some "exact" -> Some `Exact
+          | Some "megaflow" -> Some `Megaflow
+          | _ -> None
+        in
+        let* cached = str "cached" in
+        let* fresh = str "fresh" in
+        Some (Cache_hit { vif; flow; tier; cached; fresh })
+    | "cache_miss" ->
+        let* vif = str "vif" in
+        let* flow = pat "flow" in
+        Some (Cache_miss { vif; flow })
+    | "cache_invalidate" ->
+        let* vif = str "vif" in
+        let* reason = str "reason" in
+        let* dropped = int "dropped" in
+        let* exact = int "exact" in
+        let* megaflow = int "megaflow" in
+        Some (Cache_invalidate { vif; reason; dropped; exact; megaflow })
     | _ -> None
   in
   Some (now, event)

@@ -126,6 +126,34 @@ type event =
       (** A causal span closed; [outcome] is e.g. ["acked"],
           ["failed"], ["installed"], ["commit"], ["abort"],
           ["deselected"]. *)
+  | Cache_hit of {
+      vif : string;  (** VIF name, e.g. ["vif3"]. *)
+      flow : Netcore.Fkey.Pattern.t;  (** Exact pattern of the flow key. *)
+      tier : [ `Exact | `Megaflow ];
+      cached : string;
+          (** The served verdict, [Rules.Policy.verdict_to_string]-encoded. *)
+      fresh : string;
+          (** A fresh full-policy evaluation of the same flow, computed
+              at emission time so the cache-coherence monitor can check
+              [cached = fresh] without depending on the rules library. *)
+    }
+      (** The datapath cache served a verdict without an upcall. One
+          event per flow-group lookup (not per packet), traced-runs
+          only. *)
+  | Cache_miss of { vif : string; flow : Netcore.Fkey.Pattern.t }
+      (** No cache tier covered the flow; an upcall follows. *)
+  | Cache_invalidate of {
+      vif : string;
+      reason : string;
+          (** ["policy_change"], ["flow_blocked"], ["flow_unblocked"],
+              ["fps_resplit"], ["vm_migration"], ["idle"], ["lru"] or
+              ["revalidate"]. *)
+      dropped : int;  (** Entries removed (both tiers). *)
+      exact : int;  (** Exact-tier occupancy after the invalidation. *)
+      megaflow : int;  (** Megaflow-tier occupancy after. *)
+    }
+      (** The revalidator or a rule-mutation hook dropped cache
+          entries. *)
 
 (** {1 Sinks} *)
 

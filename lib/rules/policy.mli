@@ -45,6 +45,24 @@ val classify : t -> Netcore.Fkey.t -> verdict
 (** Full policy evaluation for one flow key. Deterministic: highest
     priority ACL wins, ties broken by insertion order (later wins). *)
 
+val classify_masked : t -> Netcore.Fkey.t -> verdict * Netcore.Fkey.Pattern.Mask.t
+(** Like {!classify}, additionally returning the union of the fields
+    examined by every rule the scan visited (plus dst_ip when tunnels
+    are installed). Projecting the mask onto the flow yields the widest
+    wildcard pattern guaranteed to receive this same verdict — the
+    megaflow the datapath cache may install. *)
+
+val generation : t -> int
+(** Monotonic mutation counter: bumped by every [set_*_limit],
+    [add_acl], [add_qos], [install_tunnel] and [remove_tunnel]. Datapath
+    caches compare it to the generation they captured to detect stale
+    verdicts in O(1). *)
+
+val verdict_to_string : verdict -> string
+(** Compact ["allow/q0/10.0.0.2"]-style encoding, used by trace events
+    so the coherence monitor can compare verdicts without depending on
+    this library. *)
+
 val matching_acl : t -> Netcore.Fkey.t -> Security_rule.t option
 (** The specific ACL that determines the verdict — what the rule
     compiler copies into the ToR. *)

@@ -22,9 +22,18 @@ let refill t ~now =
   end
 
 let set_spec t spec ~now =
+  let was_unlimited = Rules.Rate_limit_spec.is_unlimited t.spec in
   refill t ~now;
   t.spec <- spec;
-  t.tokens <- Float.min t.tokens (float_of_int spec.Rules.Rate_limit_spec.burst_bytes)
+  if was_unlimited && not (Rules.Rate_limit_spec.is_unlimited spec) then
+    (* The token count of an unlimited bucket is an artifact (refill pins
+       it to the old burst, i.e. max_int): carrying it over would hand the
+       flow a full free burst on every unlimited->limited transition.
+       Start the limited bucket empty and let it earn credit at the new
+       rate. *)
+    t.tokens <- 0.0
+  else
+    t.tokens <- Float.min t.tokens (float_of_int spec.Rules.Rate_limit_spec.burst_bytes)
 
 let available t ~now =
   refill t ~now;

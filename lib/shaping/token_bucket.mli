@@ -12,7 +12,9 @@ val spec : t -> Rules.Rate_limit_spec.t
 
 val set_spec : t -> Rules.Rate_limit_spec.t -> now:Dcsim.Simtime.t -> unit
 (** Reconfigure the rate (FPS re-adjusts limits every control interval).
-    Accumulated tokens are clamped to the new burst. *)
+    Accumulated tokens are clamped to the new burst; an
+    unlimited->limited transition starts the bucket empty, since the
+    unlimited bucket's token count is a sentinel, not earned credit. *)
 
 val available : t -> now:Dcsim.Simtime.t -> float
 (** Current token count in bytes (refilled to [now]). *)

@@ -5,9 +5,12 @@ module Fkey = Netcore.Fkey
 module Cost = Compute.Cost_params
 
 (* Userspace slow-path (upcall) model: fixed kernel->user->kernel cost
-   plus a linear scan over the configured ACLs. Subsequent packets of
-   the flow hit the kernel exact-match cache, so rule-set size does not
-   affect steady-state cost — matching the paper's 10,000-rule result. *)
+   plus a linear scan over the configured ACLs. Subsequent packets hit
+   the two-tier datapath cache (exact tier, then wildcard megaflows —
+   see {!Flow_cache}), so rule-set size does not affect steady-state
+   cost — matching the paper's 10,000-rule result. Cached verdicts are
+   kept coherent with the live policy by generation checks plus a
+   periodic revalidator sweep. *)
 let upcall_fixed_cost = Simtime.span_us 30.0
 let upcall_per_rule_cost_us = 0.02
 let upcall_extra_latency = Simtime.span_us 100.0
@@ -19,18 +22,25 @@ let m_security_drops = Obs.Metrics.counter "vswitch.security_drops"
 let m_upcalls = Obs.Metrics.counter "vswitch.upcalls"
 let m_kernel_hits = Obs.Metrics.counter "vswitch.kernel_hits"
 
+type direction = Tx | Rx
+
 type vif = {
+  engine : Engine.t;
+  name : string;
   policy : Rules.Policy.t;
   deliver : Packet.t -> unit;
   vhost : Compute.Cpu_pool.t;
   tx_shaper : Shaping.Shaper.t;
   rx_shaper : Shaping.Shaper.t;
-  verdict_cache : Rules.Policy.verdict Fkey.Table.t;
+  cache : Flow_cache.t;
+  batch : (Packet.t * direction) Queue.t;
+  mutable wakeup_pending : bool;
 }
 
 type t = {
   engine : Engine.t;
   config : Cost.vswitch_config;
+  cache_config : Flow_cache.config;
   host_pool : Compute.Cpu_pool.t;
   server_ip : Netcore.Ipv4.t;
   transmit : Packet.t -> unit;
@@ -38,6 +48,7 @@ type t = {
   vif_by_vm : (int * int, vif) Hashtbl.t;  (* (tenant, ip) -> vif *)
   stats : Flow_stats.t;
   blocked : unit Fkey.Table.t;
+  mutable sweeper_active : bool;
   mutable packets_sent : int;
   mutable packets_received : int;
   mutable packets_dropped : int;
@@ -46,10 +57,14 @@ type t = {
   mutable kernel_hits : int;
 }
 
-let create ~engine ~config ~host_pool ~server_ip ~transmit =
+let create ?cache_config ~engine ~config ~host_pool ~server_ip ~transmit () =
+  let cache_config =
+    match cache_config with Some c -> c | None -> !Flow_cache.default_config
+  in
   {
     engine;
     config;
+    cache_config;
     host_pool;
     server_ip;
     transmit;
@@ -57,6 +72,7 @@ let create ~engine ~config ~host_pool ~server_ip ~transmit =
     vif_by_vm = Hashtbl.create 16;
     stats = Flow_stats.create ();
     blocked = Fkey.Table.create 16;
+    sweeper_active = false;
     packets_sent = 0;
     packets_received = 0;
     packets_dropped = 0;
@@ -81,7 +97,7 @@ let drop t pkt =
 let add_vif t ~policy ~deliver =
   let engine = t.engine in
   let index = List.length t.vifs in
-  let name = Printf.sprintf "vif%d.vhost" index in
+  let name = Printf.sprintf "vif%d" index in
   let guard_transmit pkt =
     if is_blocked t pkt.Packet.flow then drop t pkt
     else begin
@@ -96,9 +112,11 @@ let add_vif t ~policy ~deliver =
   in
   let vif =
     {
+      engine;
+      name;
       policy;
       deliver = guard_deliver;
-      vhost = Compute.Cpu_pool.create ~engine ~cpus:1 ~name;
+      vhost = Compute.Cpu_pool.create ~engine ~cpus:1 ~name:(name ^ ".vhost");
       tx_shaper =
         Shaping.Shaper.create ~engine
           ~spec:(Rules.Policy.tx_limit policy)
@@ -111,7 +129,9 @@ let add_vif t ~policy ~deliver =
             | Some v -> v.deliver pkt
             | None -> assert false)
           ();
-      verdict_cache = Fkey.Table.create 64;
+      cache = Flow_cache.create ~config:t.cache_config ~name ~policy ();
+      batch = Queue.create ();
+      wakeup_pending = false;
     }
   in
   vif_ref := Some vif;
@@ -122,8 +142,22 @@ let add_vif t ~policy ~deliver =
   vif
 
 let vif_policy vif = vif.policy
-let set_vif_tx_limit vif spec = Shaping.Shaper.set_spec vif.tx_shaper spec
-let set_vif_rx_limit vif spec = Shaping.Shaper.set_spec vif.rx_shaper spec
+let vif_cache vif = vif.cache
+
+(* A rate-limit re-split does not change any verdict, so the caches are
+   only revalidated (idle sweep + witness re-check), never flushed:
+   nothing that is still correct gets dropped. *)
+let revalidate_vif vif ~reason =
+  ignore (Flow_cache.revalidate vif.cache ~now:(Engine.now vif.engine) ~reason)
+
+let set_vif_tx_limit vif spec =
+  Shaping.Shaper.set_spec vif.tx_shaper spec;
+  revalidate_vif vif ~reason:"fps_resplit"
+
+let set_vif_rx_limit vif spec =
+  Shaping.Shaper.set_spec vif.rx_shaper spec;
+  revalidate_vif vif ~reason:"fps_resplit"
+
 let vif_tx_limit vif = Shaping.Shaper.spec vif.tx_shaper
 let vif_tx_backlogged_seconds vif = Shaping.Shaper.backlogged_seconds vif.tx_shaper
 let vif_rx_backlogged_seconds vif = Shaping.Shaper.backlogged_seconds vif.rx_shaper
@@ -141,11 +175,31 @@ let effective_config t vif =
   in
   if has_limit then { t.config with Cost.rate_limiting = true } else t.config
 
-(* Classification with the kernel exact-match cache; a miss pays the
-   userspace upcall in CPU and latency, then installs the cache entry. *)
+(* The revalidator sweep runs off the engine clock only while at least
+   one VIF cache holds entries; it stops itself when they all drain so
+   an [Engine.run] without [~until] still terminates. *)
+let revalidate_all t ~reason =
+  let now = Engine.now t.engine in
+  List.iter (fun vif -> ignore (Flow_cache.revalidate vif.cache ~now ~reason)) t.vifs
+
+let maybe_start_sweeper t =
+  if not t.sweeper_active then begin
+    t.sweeper_active <- true;
+    Engine.every t.engine t.cache_config.Flow_cache.revalidate_period (fun () ->
+        revalidate_all t ~reason:"revalidate";
+        if List.exists (fun vif -> not (Flow_cache.is_empty vif.cache)) t.vifs
+        then `Continue
+        else begin
+          t.sweeper_active <- false;
+          `Stop
+        end)
+  end
+
+(* Classification against the two-tier datapath cache; a miss pays the
+   userspace upcall in CPU and latency, then installs both tiers. *)
 let classify t vif flow k =
-  match Fkey.Table.find_opt vif.verdict_cache flow with
-  | Some verdict ->
+  match Flow_cache.lookup vif.cache flow ~now:(Engine.now t.engine) with
+  | Some (verdict, _tier) ->
       t.kernel_hits <- t.kernel_hits + 1;
       Obs.Metrics.incr m_kernel_hits;
       k verdict
@@ -163,17 +217,17 @@ let classify t vif flow k =
       Compute.Cpu_pool.submit t.host_pool ~cost (fun () ->
           ignore
             (Engine.after t.engine upcall_extra_latency (fun () ->
-                 let verdict = Rules.Policy.classify vif.policy flow in
-                 Fkey.Table.replace vif.verdict_cache flow verdict;
+                 let verdict =
+                   Flow_cache.install vif.cache flow ~now:(Engine.now t.engine)
+                 in
+                 maybe_start_sweeper t;
                  k verdict)))
 
 let wire_frames payload =
   Stdlib.max 1
     ((payload + Netcore.Hdr.max_tcp_payload - 1) / Netcore.Hdr.max_tcp_payload)
 
-let vhost_cost t vif config pkt =
-  ignore t;
-  ignore vif;
+let vhost_cost config pkt =
   let payload = pkt.Packet.payload in
   let units = Cost.units_for config ~bytes_len:payload in
   let unit_bytes = Stdlib.max 1 (payload / units) in
@@ -191,44 +245,109 @@ let softirq_cost_of config ~payload =
   let unit_bytes = Stdlib.max 1 (payload / units) in
   Simtime.span_scale (float_of_int units) (Cost.softirq_cost config ~unit_bytes)
 
-let transmit_from_vif t vif pkt =
-  let flow = pkt.Packet.flow in
-  if is_blocked t flow then drop t pkt
-  else begin
+(* Post-classification handling of one packet of an allowed/denied
+   flow-group inside a vhost batch. *)
+let apply_verdict t vif config verdict (pkt, direction) =
+  match verdict.Rules.Policy.action with
+  | Rules.Security_rule.Deny ->
+      t.security_drops <- t.security_drops + 1;
+      Obs.Metrics.incr m_security_drops;
+      drop t pkt
+  | Rules.Security_rule.Allow -> (
+      let flow = pkt.Packet.flow in
+      Flow_stats.record t.stats flow
+        ~packets:(wire_frames pkt.Packet.payload)
+        ~bytes:pkt.Packet.payload;
+      match direction with
+      | Tx ->
+          let finish () =
+            if config.Cost.tunneling then begin
+              match verdict.Rules.Policy.tunnel with
+              | None -> drop t pkt  (* unknown destination *)
+              | Some ep ->
+                  Packet.push_encap pkt
+                    (Packet.Vxlan
+                       {
+                         tunnel_dst = ep.Rules.Tunnel_rule.server_ip;
+                         vni = flow.Fkey.tenant;
+                       });
+                  Shaping.Shaper.enqueue vif.tx_shaper pkt
+            end
+            else Shaping.Shaper.enqueue vif.tx_shaper pkt
+          in
+          Compute.Cpu_pool.submit t.host_pool
+            ~cost:(softirq_cost_of config ~payload:pkt.Packet.payload)
+            finish
+      | Rx ->
+          t.packets_received <- t.packets_received + 1;
+          Obs.Metrics.incr m_rx;
+          Shaping.Shaper.enqueue vif.rx_shaper pkt)
+
+(* Group a drained batch by flow, preserving first-seen order of both
+   flows and packets within a flow. *)
+let group_by_flow items =
+  let tbl = Fkey.Table.create 8 in
+  let order = ref [] in
+  List.iter
+    (fun ((pkt, _) as item) ->
+      let flow = pkt.Packet.flow in
+      match Fkey.Table.find_opt tbl flow with
+      | Some r -> r := item :: !r
+      | None ->
+          let r = ref [ item ] in
+          Fkey.Table.replace tbl flow r;
+          order := (flow, r) :: !order)
+    items;
+  List.rev_map (fun (flow, r) -> (flow, List.rev !r)) !order
+
+(* One classification per distinct flow in the batch; the blocked set
+   is re-checked at service time so a block landing while the batch sat
+   in the queue still takes effect. *)
+let process_batch t vif config items =
+  List.iter
+    (fun (flow, group) ->
+      if is_blocked t flow then List.iter (fun (pkt, _) -> drop t pkt) group
+      else
+        classify t vif flow (fun verdict ->
+            List.iter (apply_verdict t vif config verdict) group))
+    (group_by_flow items)
+
+(* The vhost wakeup drains whatever accumulated on the VIF's queue and
+   services it as one batch: serialized cost is the sum of the per-
+   packet vhost work plus one classification dispatch per distinct
+   flow ([Cost.classify_lookup_us]) — so a single-packet batch costs
+   exactly what the unbatched path used to. *)
+let start_batch t vif () =
+  vif.wakeup_pending <- false;
+  let items = List.of_seq (Queue.to_seq vif.batch) in
+  Queue.clear vif.batch;
+  if items <> [] then begin
     let config = effective_config t vif in
-    let cost = vhost_cost t vif config pkt in
+    let seen = Fkey.Table.create 8 in
+    List.iter
+      (fun (pkt, _) -> Fkey.Table.replace seen pkt.Packet.flow ())
+      items;
+    let distinct = Fkey.Table.length seen in
+    let cost =
+      List.fold_left
+        (fun acc (pkt, _) -> Simtime.span_add acc (vhost_cost config pkt))
+        (Simtime.span_us (Cost.classify_lookup_us *. float_of_int distinct))
+        items
+    in
     Compute.Cpu_pool.submit vif.vhost ~cost (fun () ->
-        if is_blocked t flow then drop t pkt
-        else
-          classify t vif flow (fun verdict ->
-              match verdict.Rules.Policy.action with
-              | Rules.Security_rule.Deny ->
-                  t.security_drops <- t.security_drops + 1;
-                  Obs.Metrics.incr m_security_drops;
-                  drop t pkt
-              | Rules.Security_rule.Allow ->
-                  Flow_stats.record t.stats flow
-                    ~packets:(wire_frames pkt.Packet.payload)
-                    ~bytes:pkt.Packet.payload;
-                  let finish () =
-                    if config.Cost.tunneling then begin
-                      match verdict.Rules.Policy.tunnel with
-                      | None -> drop t pkt  (* unknown destination *)
-                      | Some ep ->
-                          Packet.push_encap pkt
-                            (Packet.Vxlan
-                               {
-                                 tunnel_dst = ep.Rules.Tunnel_rule.server_ip;
-                                 vni = flow.Fkey.tenant;
-                               });
-                          Shaping.Shaper.enqueue vif.tx_shaper pkt
-                    end
-                    else Shaping.Shaper.enqueue vif.tx_shaper pkt
-                  in
-                  Compute.Cpu_pool.submit t.host_pool
-                    ~cost:(softirq_cost_of config ~payload:pkt.Packet.payload)
-                    finish))
+        process_batch t vif config items)
   end
+
+let enqueue_vhost t vif pkt direction =
+  Queue.push (pkt, direction) vif.batch;
+  if not vif.wakeup_pending then begin
+    vif.wakeup_pending <- true;
+    Compute.Cpu_pool.submit vif.vhost ~cost:Simtime.span_zero (start_batch t vif)
+  end
+
+let transmit_from_vif t vif pkt =
+  if is_blocked t pkt.Packet.flow then drop t pkt
+  else enqueue_vhost t vif pkt Tx
 
 let receive_from_nic t pkt =
   let deliver_local inner_pkt =
@@ -242,24 +361,7 @@ let receive_from_nic t pkt =
         let config = effective_config t vif in
         Compute.Cpu_pool.submit t.host_pool
           ~cost:(softirq_cost_of config ~payload:inner_pkt.Packet.payload)
-          (fun () ->
-            let cost = vhost_cost t vif config inner_pkt in
-            Compute.Cpu_pool.submit vif.vhost ~cost (fun () ->
-                if is_blocked t flow then drop t inner_pkt
-                else
-                  classify t vif flow (fun verdict ->
-                      match verdict.Rules.Policy.action with
-                      | Rules.Security_rule.Deny ->
-                          t.security_drops <- t.security_drops + 1;
-                          Obs.Metrics.incr m_security_drops;
-                          drop t inner_pkt
-                      | Rules.Security_rule.Allow ->
-                          Flow_stats.record t.stats flow
-                            ~packets:(wire_frames inner_pkt.Packet.payload)
-                            ~bytes:inner_pkt.Packet.payload;
-                          t.packets_received <- t.packets_received + 1;
-                          Obs.Metrics.incr m_rx;
-                          Shaping.Shaper.enqueue vif.rx_shaper inner_pkt)))
+          (fun () -> enqueue_vhost t vif inner_pkt Rx)
   in
   if t.config.Cost.tunneling then begin
     match Packet.outer_encap pkt with
@@ -278,8 +380,17 @@ let receive_from_nic t pkt =
 let active_flows t = Flow_stats.to_list t.stats
 
 let set_flow_blocked t flow blocked =
-  if blocked then Fkey.Table.replace t.blocked flow ()
-  else Fkey.Table.remove t.blocked flow
+  (if blocked then Fkey.Table.replace t.blocked flow ()
+   else Fkey.Table.remove t.blocked flow);
+  (* Blocking changes what the datapath must do with the flow right
+     now; unblocking restores slow-path service. Either way any cached
+     fast-path verdict for the flow is suspect, so every VIF drops its
+     exact entry and the megaflows covering the flow. *)
+  let now = Engine.now t.engine in
+  let reason = if blocked then "flow_blocked" else "flow_unblocked" in
+  List.iter
+    (fun vif -> ignore (Flow_cache.invalidate_flow vif.cache flow ~now ~reason))
+    t.vifs
 
 let packets_sent t = t.packets_sent
 let packets_received t = t.packets_received

@@ -1,11 +1,14 @@
 (** The hypervisor virtual switch (Open vSwitch model, §2.2).
 
-    Structure follows OVS 1.9: a kernel datapath with an O(1)
-    exact-match flow cache, a userspace slow path consulted on cache
-    misses (the "upcall"), per-VIF vhost service threads (the
-    serialized per-packet resource), shared softirq work on the host
-    kernel CPU pool, optional VXLAN tunneling and optional tc-htb rate
-    limiting per VIF.
+    Structure follows OVS 1.9: a kernel datapath with a two-tier flow
+    cache (exact-match tier in front of wildcard megaflows, see
+    {!Flow_cache}), a userspace slow path consulted on cache misses
+    (the "upcall"), per-VIF vhost service threads (the serialized
+    per-packet resource) that drain their queues in batches with one
+    classification per distinct flow per wakeup, shared softirq work on
+    the host kernel CPU pool, optional VXLAN tunneling and optional
+    tc-htb rate limiting per VIF. A revalidator sweep driven from the
+    engine clock keeps cached verdicts coherent with the live policy.
 
     The four microbenchmark configurations of §3 are expressed through
     {!Compute.Cost_params.vswitch_config}: baseline, +security rules,
@@ -14,14 +17,18 @@
 type t
 
 val create :
+  ?cache_config:Flow_cache.config ->
   engine:Dcsim.Engine.t ->
   config:Compute.Cost_params.vswitch_config ->
   host_pool:Compute.Cpu_pool.t ->
   server_ip:Netcore.Ipv4.t ->
   transmit:(Netcore.Packet.t -> unit) ->
+  unit ->
   t
 (** [transmit] hands fully-processed packets to the physical NIC /
-    link. [host_pool] is the shared kernel CPU pool of the server. *)
+    link. [host_pool] is the shared kernel CPU pool of the server.
+    [cache_config] sizes each VIF's datapath cache; defaults to the
+    current {!Flow_cache.default_config}. *)
 
 val config : t -> Compute.Cost_params.vswitch_config
 val server_ip : t -> Netcore.Ipv4.t
@@ -41,7 +48,15 @@ val add_vif :
     via {!set_vif_tx_limit}/{!set_vif_rx_limit}. *)
 
 val vif_policy : vif -> Rules.Policy.t
+
+val vif_cache : vif -> Flow_cache.t
+(** The VIF's datapath flow cache (occupancy/hit introspection). *)
+
 val set_vif_tx_limit : vif -> Rules.Rate_limit_spec.t -> unit
+(** Also revalidates the VIF's flow cache (reason ["fps_resplit"]):
+    rate changes alter no verdict, so entries are re-checked rather
+    than flushed. *)
+
 val set_vif_rx_limit : vif -> Rules.Rate_limit_spec.t -> unit
 val vif_tx_limit : vif -> Rules.Rate_limit_spec.t
 val vif_tx_backlogged_seconds : vif -> float
@@ -76,7 +91,8 @@ val set_flow_blocked : t -> Netcore.Fkey.t -> bool -> unit
 (** While blocked, packets of this flow surfacing anywhere in the
     vswitch pipeline are dropped — models the transient loss of
     in-flight packets when a flow's rules migrate to hardware
-    (§6.2.2). *)
+    (§6.2.2). Both block and unblock invalidate the flow's entries in
+    every VIF cache so the change takes effect on the next packet. *)
 
 (** {2 Counters} *)
 

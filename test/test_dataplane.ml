@@ -326,7 +326,88 @@ let test_ovs_upcall_once_per_flow () =
   done;
   Experiments.Testbed.run_for tb ~seconds:0.1;
   checki "no further upcalls" upcalls_after_first (Vswitch.Ovs.upcalls ovs);
-  checkb "kernel hits instead" true (Vswitch.Ovs.kernel_hits ovs >= 10)
+  (* The vhost services its queue in batches and packets of one flow in
+     a batch share a single classification, so ten packets produce at
+     least one cache hit, not necessarily ten. *)
+  checkb "kernel hits instead" true (Vswitch.Ovs.kernel_hits ovs >= 1)
+
+(* Regression: with the old never-invalidated verdict cache, an ACL
+   added after a flow's first packet was ignored for the lifetime of
+   the flow. The policy-generation check must flush the cache so the
+   new rule bites on the very next packet. *)
+let test_ovs_policy_change_after_first_packet () =
+  let tb, a, b = two_vm_testbed () in
+  let got = ref 0 in
+  Host.Vm.register_listener b.Host.Server.vm ~port:80 (fun _ -> incr got);
+  let f =
+    Fkey.make ~src_ip:(Host.Vm.ip a.Host.Server.vm)
+      ~dst_ip:(Host.Vm.ip b.Host.Server.vm) ~src_port:1 ~dst_port:80
+      ~proto:Fkey.Tcp ~tenant
+  in
+  Host.Vm.send a.Host.Server.vm (pkt f);
+  Experiments.Testbed.run_for tb ~seconds:0.1;
+  checki "first packet delivered" 1 !got;
+  (* Carve a deny above the allow-all after the verdict is cached. *)
+  Rules.Policy.add_acl
+    (Vswitch.Ovs.vif_policy a.Host.Server.vif)
+    (Rules.Security_rule.make ~priority:9
+       { Fkey.Pattern.any with Fkey.Pattern.dst_port = Some 80 }
+       Deny);
+  Host.Vm.send a.Host.Server.vm (pkt f);
+  Experiments.Testbed.run_for tb ~seconds:0.1;
+  checki "rule change honoured on the next packet" 1 !got;
+  checki "second packet security-dropped" 1
+    (Vswitch.Ovs.security_drops (Host.Server.ovs tb.Experiments.Testbed.servers.(0)))
+
+(* Regression: block and unblock taking effect mid-run, with packets
+   in flight around both transitions. *)
+let test_ovs_block_unblock_midrun () =
+  let tb, a, b = two_vm_testbed () in
+  let engine = tb.Experiments.Testbed.engine in
+  let ovs = Host.Server.ovs tb.Experiments.Testbed.servers.(0) in
+  let got = ref 0 in
+  Host.Vm.register_listener b.Host.Server.vm ~port:80 (fun _ -> incr got);
+  let f =
+    Fkey.make ~src_ip:(Host.Vm.ip a.Host.Server.vm)
+      ~dst_ip:(Host.Vm.ip b.Host.Server.vm) ~src_port:1 ~dst_port:80
+      ~proto:Fkey.Tcp ~tenant
+  in
+  let send () = Host.Vm.send a.Host.Server.vm (pkt f) in
+  send ();
+  ignore
+    (Engine.after engine (Simtime.span_ms 10.0) (fun () ->
+         Vswitch.Ovs.set_flow_blocked ovs f true;
+         send ()));
+  ignore
+    (Engine.after engine (Simtime.span_ms 20.0) (fun () ->
+         Vswitch.Ovs.set_flow_blocked ovs f false;
+         send ()));
+  Experiments.Testbed.run_for tb ~seconds:0.1;
+  checki "packets around the blocked window delivered" 2 !got;
+  checkb "blocked packet dropped" true (Vswitch.Ovs.packets_dropped ovs >= 1)
+
+(* Ten same-flow packets queued before the engine runs coalesce into
+   one vhost batch and pay exactly one upcall. *)
+let test_ovs_batch_upcall_dedup () =
+  let engine = Engine.create () in
+  let host_pool = Compute.Cpu_pool.create ~engine ~cpus:2 ~name:"h" in
+  let ovs =
+    Vswitch.Ovs.create ~engine ~config:Compute.Cost_params.baseline ~host_pool
+      ~server_ip:(Ipv4.of_string "192.168.1.1")
+      ~transmit:(fun _ -> ())
+      ()
+  in
+  let policy = Rules.Policy.create ~tenant ~vm_ip:(Ipv4.of_string "10.7.0.1") () in
+  Rules.Policy.add_acl policy
+    (Rules.Security_rule.make ~priority:5 Fkey.Pattern.any Allow);
+  let vif = Vswitch.Ovs.add_vif ovs ~policy ~deliver:(fun _ -> ()) in
+  let f = flow () in
+  for _ = 1 to 10 do
+    Vswitch.Ovs.transmit_from_vif ovs vif (pkt f)
+  done;
+  Engine.run engine;
+  checki "one upcall for the whole batch" 1 (Vswitch.Ovs.upcalls ovs);
+  checki "all packets sent" 10 (Vswitch.Ovs.packets_sent ovs)
 
 (* --- Sriov --- *)
 
@@ -447,6 +528,9 @@ let suite =
     t "vswitch vxlan tunneling" test_vswitch_tunneling_path;
     t "ovs flow stats" test_ovs_flow_stats;
     t "ovs upcall once per flow" test_ovs_upcall_once_per_flow;
+    t "ovs policy change after first packet" test_ovs_policy_change_after_first_packet;
+    t "ovs block unblock midrun" test_ovs_block_unblock_midrun;
+    t "ovs batch upcall dedup" test_ovs_batch_upcall_dedup;
     t "sriov vf exhaustion" test_sriov_vf_exhaustion;
     t "sriov rx steering" test_sriov_steering;
     t "sriov vlan tag on tx" test_sriov_vlan_tag_on_tx;

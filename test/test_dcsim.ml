@@ -211,6 +211,22 @@ let test_engine_every () =
   checki "four ticks" 4 !count;
   checki "stopped at" 40_000 (Simtime.to_ns (Engine.now e))
 
+(* Regression: a periodic task kicked off from inside an event with
+   [~start] at (or before) the current instant must begin now, not
+   raise for scheduling in the past. *)
+let test_engine_every_past_start_clamps () =
+  let e = Engine.create () in
+  let fire_times = ref [] in
+  ignore
+    (Engine.at e (Simtime.of_us 5.0) (fun () ->
+         Engine.every e ~start:Simtime.zero (Simtime.span_us 10.0) (fun () ->
+             fire_times := Simtime.to_ns (Engine.now e) :: !fire_times;
+             if List.length !fire_times >= 3 then `Stop else `Continue)));
+  Engine.run e;
+  Alcotest.check (Alcotest.list Alcotest.int) "clamped to now, then periodic"
+    [ 5_000; 15_000; 25_000 ]
+    (List.rev !fire_times)
+
 let test_engine_stop () =
   let e = Engine.create () in
   let fired = ref 0 in
@@ -268,7 +284,16 @@ let test_summary () =
 let test_summary_empty () =
   let s = Dcsim.Stats.Summary.create () in
   check (Alcotest.float 0.0) "mean empty" 0.0 (Dcsim.Stats.Summary.mean s);
-  check (Alcotest.float 0.0) "stddev empty" 0.0 (Dcsim.Stats.Summary.stddev s)
+  check (Alcotest.float 0.0) "stddev empty" 0.0 (Dcsim.Stats.Summary.stddev s);
+  (* No observations: min/max are nan ("no data"), not a fabricated 0
+     that a dashboard would read as a real measurement. *)
+  checkb "min empty is nan" true (Float.is_nan (Dcsim.Stats.Summary.min s));
+  checkb "max empty is nan" true (Float.is_nan (Dcsim.Stats.Summary.max s));
+  Dcsim.Stats.Summary.add s 3.0;
+  check (Alcotest.float 0.0) "min after add" 3.0 (Dcsim.Stats.Summary.min s);
+  Dcsim.Stats.Summary.clear s;
+  checkb "cleared min is nan again" true
+    (Float.is_nan (Dcsim.Stats.Summary.min s))
 
 let test_histogram_percentiles () =
   let h = Dcsim.Stats.Histogram.create () in
@@ -446,6 +471,7 @@ let suite =
     t "engine after/cancel" test_engine_after_and_cancel;
     t "engine rejects past" test_engine_rejects_past;
     t "engine every" test_engine_every;
+    t "engine every past start clamps" test_engine_every_past_start_clamps;
     t "engine stop" test_engine_stop;
     t "rng determinism" test_rng_determinism;
     t "rng split stable" test_rng_split_stable;

@@ -1,0 +1,245 @@
+(* Tests for the two-tier datapath flow cache: tiering, megaflow masks,
+   LRU bounds, coherence with live policy mutations, and a QCheck
+   equivalence property against the uncached classifier. *)
+
+module Fkey = Netcore.Fkey
+module Pattern = Fkey.Pattern
+module Simtime = Dcsim.Simtime
+module Cache = Vswitch.Flow_cache
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let tenant = Netcore.Tenant.of_int 7
+let vm_ip = Netcore.Ipv4.of_string "10.7.0.1"
+let peer_ip = Netcore.Ipv4.of_string "10.7.0.2"
+
+let flow ?(sport = 1000) ?(dport = 80) () =
+  Fkey.make ~src_ip:vm_ip ~dst_ip:peer_ip ~src_port:sport ~dst_port:dport
+    ~proto:Fkey.Tcp ~tenant
+
+let t_ms ms = Simtime.of_ms ms
+
+let small_config =
+  {
+    Cache.exact_capacity = 4;
+    megaflow_capacity = 8;
+    idle_timeout = Simtime.span_sec 1.0;
+    revalidate_period = Simtime.span_ms 100.0;
+  }
+
+let allow_all_policy () =
+  let p = Rules.Policy.create ~tenant ~vm_ip () in
+  Rules.Policy.add_acl p (Rules.Security_rule.make ~priority:5 Pattern.any Allow);
+  p
+
+let deny_port_rule port =
+  Rules.Security_rule.make ~priority:9
+    { Pattern.any with Pattern.dst_port = Some port }
+    Deny
+
+let test_miss_install_hit () =
+  let p = allow_all_policy () in
+  let c = Cache.create ~config:small_config ~name:"t" ~policy:p () in
+  let f = flow () in
+  checkb "first lookup misses" true (Cache.lookup c f ~now:(t_ms 0.0) = None);
+  let v = Cache.install c f ~now:(t_ms 0.0) in
+  checkb "allowed" true (v.Rules.Policy.action = Rules.Security_rule.Allow);
+  (match Cache.lookup c f ~now:(t_ms 1.0) with
+  | Some (v', Cache.Exact) -> checkb "same verdict" true (v' = v)
+  | Some (_, Cache.Megaflow) -> Alcotest.fail "expected the exact tier"
+  | None -> Alcotest.fail "expected a hit");
+  checki "exact hits" 1 (Cache.exact_hits c);
+  checki "misses" 1 (Cache.misses c)
+
+let test_megaflow_absorbs_flows () =
+  let p = allow_all_policy () in
+  let c = Cache.create ~config:small_config ~name:"t" ~policy:p () in
+  ignore (Cache.install c (flow ()) ~now:(t_ms 0.0));
+  checki "one megaflow installed" 1 (Cache.megaflow_count c);
+  (* The deciding allow-all examined no field, so its megaflow is fully
+     wildcarded: every other flow of the VIF hits it first try. *)
+  for i = 1 to 20 do
+    match Cache.lookup c (flow ~sport:(2000 + i) ()) ~now:(t_ms (float_of_int i)) with
+    | Some (_, Cache.Megaflow) -> ()
+    | Some (_, Cache.Exact) -> Alcotest.fail "fresh flow cannot hit the exact tier"
+    | None -> Alcotest.fail "megaflow should absorb the flow"
+  done;
+  checki "still one megaflow" 1 (Cache.megaflow_count c);
+  checkb "exact tier stays bounded" true (Cache.exact_count c <= 4);
+  checki "all were megaflow hits" 20 (Cache.megaflow_hits c)
+
+let test_mask_specificity () =
+  let p = allow_all_policy () in
+  Rules.Policy.add_acl p (deny_port_rule 6666);
+  let c = Cache.create ~config:small_config ~name:"t" ~policy:p () in
+  let v80 = Cache.install c (flow ~dport:80 ()) ~now:(t_ms 0.0) in
+  checkb "port 80 allowed" true (v80.Rules.Policy.action = Rules.Security_rule.Allow);
+  (* The deny rule examined dst_port, so the port-80 megaflow is masked
+     on dst_port and must not absorb port-6666 traffic. *)
+  (match Cache.lookup c (flow ~dport:6666 ()) ~now:(t_ms 1.0) with
+  | None -> ()
+  | Some _ -> Alcotest.fail "port 6666 must not hit the port-80 megaflow");
+  let v6666 = Cache.install c (flow ~dport:6666 ()) ~now:(t_ms 1.0) in
+  checkb "port 6666 denied" true
+    (v6666.Rules.Policy.action = Rules.Security_rule.Deny);
+  (* src_port was never examined, so another src port on dst 80 is
+     absorbed by the existing megaflow. *)
+  (match Cache.lookup c (flow ~sport:4242 ~dport:80 ()) ~now:(t_ms 2.0) with
+  | Some (v, Cache.Megaflow) ->
+      checkb "absorbed flow allowed" true
+        (v.Rules.Policy.action = Rules.Security_rule.Allow)
+  | Some (_, Cache.Exact) -> Alcotest.fail "expected the megaflow tier"
+  | None -> Alcotest.fail "src_port is unmasked: flow should be absorbed")
+
+let test_lru_eviction_order () =
+  let p = allow_all_policy () in
+  let c = Cache.create ~config:small_config ~name:"t" ~policy:p () in
+  let fl i = flow ~sport:(1000 + i) () in
+  for i = 1 to 4 do
+    ignore (Cache.install c (fl i) ~now:(t_ms (float_of_int i)))
+  done;
+  checki "at capacity" 4 (Cache.exact_count c);
+  (* Touch flow 1 so flow 2 becomes the least recently used. *)
+  ignore (Cache.lookup c (fl 1) ~now:(t_ms 10.0));
+  ignore (Cache.install c (fl 5) ~now:(t_ms 11.0));
+  checki "still bounded" 4 (Cache.exact_count c);
+  checkb "recently used survived" true (Cache.mem_exact c (fl 1));
+  checkb "lru victim evicted" false (Cache.mem_exact c (fl 2));
+  checkb "eviction counted" true (Cache.evictions c >= 1)
+
+let test_policy_change_flushes () =
+  let p = allow_all_policy () in
+  let c = Cache.create ~config:small_config ~name:"t" ~policy:p () in
+  let f = flow ~dport:6666 () in
+  let v = Cache.install c f ~now:(t_ms 0.0) in
+  checkb "initially allowed" true (v.Rules.Policy.action = Rules.Security_rule.Allow);
+  Rules.Policy.add_acl p (deny_port_rule 6666);
+  (match Cache.lookup c f ~now:(t_ms 1.0) with
+  | None -> ()
+  | Some _ -> Alcotest.fail "stale verdict served after policy change");
+  checkb "flush counted as invalidation" true (Cache.invalidations c >= 1);
+  let v' = Cache.install c f ~now:(t_ms 1.0) in
+  checkb "fresh verdict denies" true
+    (v'.Rules.Policy.action = Rules.Security_rule.Deny)
+
+let test_revalidate_evicts_idle () =
+  let p = allow_all_policy () in
+  let c = Cache.create ~config:small_config ~name:"t" ~policy:p () in
+  ignore (Cache.install c (flow ~sport:1001 ()) ~now:(t_ms 0.0));
+  ignore (Cache.install c (flow ~sport:1002 ()) ~now:(t_ms 0.0));
+  checki "two exact entries" 2 (Cache.exact_count c);
+  (* Keep flow 1001 warm past the idle horizon; 1002 and the megaflow
+     (last used at t=0) go idle. *)
+  ignore (Cache.lookup c (flow ~sport:1001 ()) ~now:(t_ms 900.0));
+  let dropped = Cache.revalidate c ~now:(t_ms 1500.0) ~reason:"test" in
+  checkb "idle entries dropped" true (dropped >= 2);
+  checkb "warm entry survived" true (Cache.mem_exact c (flow ~sport:1001 ()));
+  checkb "idle entry evicted" false (Cache.mem_exact c (flow ~sport:1002 ()));
+  checki "idle megaflow evicted" 0 (Cache.megaflow_count c);
+  checkb "counted as evictions" true (Cache.evictions c >= 2)
+
+let test_invalidate_flow_is_selective () =
+  let p = allow_all_policy () in
+  Rules.Policy.add_acl p (deny_port_rule 6666);
+  let c = Cache.create ~config:small_config ~name:"t" ~policy:p () in
+  let f80 = flow ~dport:80 () and f6666 = flow ~dport:6666 () in
+  ignore (Cache.install c f80 ~now:(t_ms 0.0));
+  ignore (Cache.install c f6666 ~now:(t_ms 0.0));
+  checki "two megaflows" 2 (Cache.megaflow_count c);
+  let dropped = Cache.invalidate_flow c f80 ~now:(t_ms 1.0) ~reason:"test" in
+  checki "exact + covering megaflow dropped" 2 dropped;
+  checkb "other exact entry untouched" true (Cache.mem_exact c f6666);
+  checki "other megaflow untouched" 1 (Cache.megaflow_count c)
+
+let test_exact_tier_disabled () =
+  let p = allow_all_policy () in
+  let c =
+    Cache.create
+      ~config:{ small_config with Cache.exact_capacity = 0 }
+      ~name:"t" ~policy:p ()
+  in
+  let f = flow () in
+  ignore (Cache.install c f ~now:(t_ms 0.0));
+  checki "no exact entry" 0 (Cache.exact_count c);
+  (match Cache.lookup c f ~now:(t_ms 1.0) with
+  | Some (_, Cache.Megaflow) -> ()
+  | Some (_, Cache.Exact) -> Alcotest.fail "exact tier is disabled"
+  | None -> Alcotest.fail "megaflow should still serve");
+  checki "still no exact entry" 0 (Cache.exact_count c)
+
+(* Equivalence property: whatever interleaving of lookups, policy
+   mutations, revalidator passes and targeted invalidations occurs, a
+   verdict served by the cache equals a fresh full classification at
+   that instant. Tiny capacities force constant eviction churn. *)
+let universe =
+  [|
+    flow ~sport:1000 ~dport:80 ();
+    flow ~sport:1001 ~dport:80 ();
+    flow ~sport:1000 ~dport:443 ();
+    flow ~sport:1002 ~dport:6666 ();
+    flow ~sport:1003 ~dport:22 ();
+    flow ~sport:1001 ~dport:6666 ();
+  |]
+
+let prop_cache_matches_oracle =
+  QCheck2.Test.make ~name:"cached verdicts equal fresh classification" ~count:100
+    QCheck2.Gen.(list_size (int_range 1 120) (int_range 0 10_000))
+    (fun ops ->
+      let p = allow_all_policy () in
+      let c =
+        Cache.create
+          ~config:
+            { small_config with Cache.exact_capacity = 2; megaflow_capacity = 2 }
+          ~name:"prop" ~policy:p ()
+      in
+      let ports = [| 80; 443; 6666; 22 |] in
+      let step = ref 0 in
+      let ok = ref true in
+      List.iter
+        (fun op ->
+          incr step;
+          let now = t_ms (float_of_int !step) in
+          let f = universe.(op mod Array.length universe) in
+          match (op / 7) mod 9 with
+          | 0 | 1 | 2 | 3 | 4 ->
+              let v =
+                match Cache.lookup c f ~now with
+                | Some (v, _) -> v
+                | None -> Cache.install c f ~now
+              in
+              if v <> Rules.Policy.classify p f then ok := false
+          | 5 ->
+              Rules.Policy.add_acl p
+                (Rules.Security_rule.make
+                   ~priority:(6 + (op mod 4))
+                   { Pattern.any with Pattern.dst_port = Some ports.(op mod 4) }
+                   (if op mod 2 = 0 then Rules.Security_rule.Deny
+                    else Rules.Security_rule.Allow))
+          | 6 ->
+              if op mod 2 = 0 then
+                Rules.Policy.install_tunnel p
+                  (Rules.Tunnel_rule.make ~tenant ~vm_ip:peer_ip
+                     {
+                       Rules.Tunnel_rule.server_ip =
+                         Netcore.Ipv4.of_string "192.168.1.10";
+                       tor_ip = Netcore.Ipv4.of_string "192.168.0.1";
+                     })
+              else Rules.Policy.remove_tunnel p ~vm_ip:peer_ip
+          | 7 -> ignore (Cache.revalidate c ~now ~reason:"test")
+          | _ -> ignore (Cache.invalidate_flow c f ~now ~reason:"test"))
+        ops;
+      !ok)
+
+let suite =
+  let t name f = Alcotest.test_case name `Quick f in
+  [
+    t "miss install hit" test_miss_install_hit;
+    t "megaflow absorbs flows" test_megaflow_absorbs_flows;
+    t "mask specificity" test_mask_specificity;
+    t "lru eviction order" test_lru_eviction_order;
+    t "policy change flushes" test_policy_change_flushes;
+    t "revalidate evicts idle" test_revalidate_evicts_idle;
+    t "invalidate flow is selective" test_invalidate_flow_is_selective;
+    t "exact tier disabled" test_exact_tier_disabled;
+    QCheck_alcotest.to_alcotest prop_cache_matches_oracle;
+  ]

@@ -9,6 +9,7 @@ let () =
       ("compute", Test_compute.suite);
       ("tcp", Test_tcp.suite);
       ("dataplane", Test_dataplane.suite);
+      ("flow_cache", Test_flow_cache.suite);
       ("fastrak", Test_fastrak.suite);
       ("faults", Test_faults.suite);
       ("obs", Test_obs.suite);

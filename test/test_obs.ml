@@ -474,6 +474,44 @@ let test_monitor_catches_violations () =
   checki "migration violation" 1 (count "migration_order");
   checki "total" 5 (Obs.Monitor.total mon)
 
+let test_monitor_cache_coherence () =
+  let mon = Obs.Monitor.create () in
+  let obs = Obs.Monitor.observe mon t0 in
+  (* Agreeing hit, a miss, and a well-formed invalidate are all legal. *)
+  obs
+    (Trace.Cache_hit
+       {
+         vif = "vif0";
+         flow = sample_pattern;
+         tier = `Exact;
+         cached = "allow/q0/-";
+         fresh = "allow/q0/-";
+       });
+  obs (Trace.Cache_miss { vif = "vif0"; flow = sample_pattern });
+  obs
+    (Trace.Cache_invalidate
+       { vif = "vif0"; reason = "policy_change"; dropped = 3; exact = 1; megaflow = 2 });
+  checki "clean so far" 0 (Obs.Monitor.total mon);
+  (* A cached verdict disagreeing with the fresh evaluation is the
+     staleness bug this monitor exists for. *)
+  obs
+    (Trace.Cache_hit
+       {
+         vif = "vif0";
+         flow = sample_pattern;
+         tier = `Megaflow;
+         cached = "allow/q0/-";
+         fresh = "deny/q0/-";
+       });
+  obs
+    (Trace.Cache_invalidate
+       { vif = "vif0"; reason = "idle"; dropped = -1; exact = 0; megaflow = 0 });
+  let count name =
+    Option.value (List.assoc_opt name (Obs.Monitor.counts mon)) ~default:0
+  in
+  checki "coherence violations" 2 (count "cache_coherence");
+  checki "total" 2 (Obs.Monitor.total mon)
+
 let test_monitor_accepts_legal_stream () =
   let mon = Obs.Monitor.create ~mode:Obs.Monitor.Strict () in
   let obs = Obs.Monitor.observe mon t0 in
@@ -642,8 +680,11 @@ let test_export_of_live_run_round_trips () =
       checkb "events in" true (events_in > 0);
       checki "no malformed lines" 0 skipped;
       checkb "events out" true (events_out > 0);
-      (* Spans from the live control plane made it into the export. *)
-      checkb "has duration events" true (events_out > events_in / 10));
+      (* Spans from the live control plane made it into the export.
+         Per-packet cache_hit/cache_miss events dominate [events_in]
+         and are deliberately not exported, so compare against a fixed
+         floor rather than a fraction of the input. *)
+      checkb "has duration events" true (events_out > 20));
   (* The written file itself re-parses and passes the validator. *)
   (match Obs.Export.validate_file json with
   | Ok n -> checkb "validated events" true (n > 0)
@@ -652,6 +693,24 @@ let test_export_of_live_run_round_trips () =
   Sys.remove json
 
 (* --- metrics registry --- *)
+
+(* An un-observed summary must export min/max as JSON null, not a
+   fabricated 0.0 a dashboard would read as a real measurement. *)
+let test_empty_summary_renders_null () =
+  let registry = Metrics.create () in
+  let s = Metrics.summary ~registry "latency.us" in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    nn = 0 || go 0
+  in
+  let json = Metrics.to_json (Metrics.snapshot ~registry ()) in
+  checkb "empty min renders null" true (contains json "\"min\":null");
+  checkb "empty max renders null" true (contains json "\"max\":null");
+  Metrics.observe s 2.5;
+  let json' = Metrics.to_json (Metrics.snapshot ~registry ()) in
+  checkb "observed min is a number" true (contains json' "\"min\":2.5");
+  checkb "no null once observed" false (contains json' "null")
 
 let test_registry_kinds_and_diff () =
   let registry = Metrics.create () in
@@ -704,11 +763,13 @@ let suite =
     t "live run traces and metrics" test_trace_and_metrics_of_live_run;
     t "no-op sink identical results" test_noop_sink_identical_results;
     t "registry kinds and diff" test_registry_kinds_and_diff;
+    t "empty summary renders null" test_empty_summary_renders_null;
     QCheck_alcotest.to_alcotest prop_of_jsonl_corruption_safe;
     t "jsonl rejects nan payloads" test_of_jsonl_nan_payloads;
     t "p2 quantiles" test_p2_quantiles;
     t "timeseries rows and output" test_timeseries_rows_and_output;
     t "monitor catches violations" test_monitor_catches_violations;
+    t "monitor cache coherence" test_monitor_cache_coherence;
     t "monitor accepts legal stream" test_monitor_accepts_legal_stream;
     t "monitor strict raises" test_monitor_strict_raises;
     t "monitor clean on live run" test_monitor_on_live_run_clean;

@@ -76,6 +76,36 @@ let test_bucket_set_spec_clamps () =
   checkb "clamped to new burst" true
     (Shaping.Token_bucket.available b ~now:Simtime.zero <= 500.0)
 
+(* Regression: the unlimited bucket's token count is a sentinel
+   (float max_int), not earned credit — switching to a limited spec
+   must not grant a free full burst. *)
+let test_bucket_unlimited_to_limited_starts_empty () =
+  let b =
+    Shaping.Token_bucket.create Rules.Rate_limit_spec.unlimited ~now:Simtime.zero
+  in
+  let later = Simtime.of_sec 10.0 in
+  Shaping.Token_bucket.set_spec b
+    (Rules.Rate_limit_spec.make ~rate_bps:8e6 ~burst_bytes:10_000 ())
+    ~now:later;
+  Alcotest.check (Alcotest.float 0.0) "no free burst" 0.0
+    (Shaping.Token_bucket.available b ~now:later);
+  (* Earned credit accrues normally from the transition onward. *)
+  checkb "refills at the new rate" true
+    (Shaping.Token_bucket.try_consume b
+       ~now:(Simtime.add later (Simtime.span_ms 5.0))
+       ~bytes_len:5_000);
+  (* Limited->limited keeps accumulated tokens (clamped), as before. *)
+  let b2 =
+    Shaping.Token_bucket.create
+      (Rules.Rate_limit_spec.make ~rate_bps:8e6 ~burst_bytes:10_000 ())
+      ~now:Simtime.zero
+  in
+  Shaping.Token_bucket.set_spec b2
+    (Rules.Rate_limit_spec.make ~rate_bps:8e6 ~burst_bytes:20_000 ())
+    ~now:Simtime.zero;
+  Alcotest.check (Alcotest.float 0.0) "kept earned tokens" 10_000.0
+    (Shaping.Token_bucket.available b2 ~now:Simtime.zero)
+
 let test_bucket_forced_negative () =
   let b =
     Shaping.Token_bucket.create
@@ -258,6 +288,8 @@ let suite =
     t "bucket time until conform" test_bucket_time_until_conform;
     t "bucket unlimited" test_bucket_unlimited;
     t "bucket set_spec clamps" test_bucket_set_spec_clamps;
+    t "bucket unlimited to limited starts empty"
+      test_bucket_unlimited_to_limited_starts_empty;
     t "bucket forced negative" test_bucket_forced_negative;
     t "htb within rate" test_htb_within_rate;
     t "htb ceil cap" test_htb_ceil_cap;
