@@ -9,7 +9,7 @@
    "quick" skips the slowest reproductions.
 
    Scalability mode: dune exec bench/main.exe -- bench
-   [decision|measurement|eventqueue|obs|vswitch]* [--smoke] [--out-dir DIR]
+   [decision|measurement|eventqueue|obs|vswitch|engine]* [--smoke] [--out-dir DIR]
    runs the named scenario groups (all of them when none are named) and
    writes one BENCH_<group>.json each; --smoke shrinks sizes so the
    @bench-smoke alias stays cheap enough for every `dune runtest`.
@@ -222,7 +222,7 @@ let print_bench_results results =
         r.Bench_scenarios.unit_ r.Bench_scenarios.ops_per_sec
         r.Bench_scenarios.minor_words_per_op
         (match r.Bench_scenarios.baseline_ns_per_op with
-        | Some bl -> Printf.sprintf "  (%.1fx vs list baseline)" (bl /. r.Bench_scenarios.ns_per_op)
+        | Some bl -> Printf.sprintf "  (%.1fx vs baseline)" (bl /. r.Bench_scenarios.ns_per_op)
         | None -> ""))
     results
 
@@ -236,7 +236,7 @@ let run_bench_mode args =
   let smoke, out_dir, groups = parse (false, ".", []) args in
   let groups =
     match groups with
-    | [] -> [ "decision"; "measurement"; "eventqueue"; "obs"; "vswitch" ]
+    | [] -> [ "decision"; "measurement"; "eventqueue"; "obs"; "vswitch"; "engine" ]
     | l -> l
   in
   line ();
@@ -252,6 +252,7 @@ let run_bench_mode args =
         | "eventqueue" -> Bench_scenarios.run_eventqueue ~smoke
         | "obs" -> Bench_scenarios.run_obs ~smoke
         | "vswitch" -> Bench_scenarios.run_vswitch ~smoke
+        | "engine" -> Bench_scenarios.run_engine ~smoke
         | g -> failwith ("unknown bench group: " ^ g)
       in
       let path = Bench_scenarios.write_json ~bench:group ~out_dir results in

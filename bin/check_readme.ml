@@ -1,0 +1,111 @@
+(* check_readme: fails when README.md drifts from the CLI.
+
+   Reads the README and the captured output of `fastrak_sim list`, then
+   enforces two contracts:
+
+   - every experiment id printed by `list` is mentioned somewhere in the
+     README (new experiments must be documented);
+   - every `fastrak_sim ... run <ids>` command line shown in the README
+     names only experiments the CLI actually knows (plus `all`), so the
+     quickstart cannot advertise removed or misspelled ids.
+
+   Run from the `readme-check` dune alias, part of tier-1 runtest. *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let lines_of s = String.split_on_char '\n' s
+
+let is_blank line = String.trim line = ""
+
+(* Experiment ids: the first whitespace-delimited token of each line of
+   the `list` table, which ends at the first blank line. *)
+let ids_of_list_output out =
+  let rec take acc = function
+    | [] -> List.rev acc
+    | line :: _ when is_blank line -> List.rev acc
+    | line :: rest -> (
+        match String.split_on_char ' ' (String.trim line) with
+        | id :: _ when id <> "" -> take (id :: acc) rest
+        | _ -> take acc rest)
+  in
+  take [] (lines_of out)
+
+let contains_word haystack needle =
+  let lh = String.length haystack and ln = String.length needle in
+  let boundary c =
+    not ((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || (c >= 'A' && c <= 'Z') || c = '_')
+  in
+  let rec scan i =
+    if i + ln > lh then false
+    else if
+      String.sub haystack i ln = needle
+      && (i = 0 || boundary haystack.[i - 1])
+      && (i + ln = lh || boundary haystack.[i + ln])
+    then true
+    else scan (i + 1)
+  in
+  scan 0
+
+(* The experiment tokens of one README command line: everything after
+   the `run` word until the first option (leading '-') or shell
+   metacharacter. *)
+let run_args line =
+  let tokens =
+    String.split_on_char ' ' line |> List.filter (fun t -> t <> "")
+  in
+  let rec after_run = function
+    | [] -> []
+    | "run" :: rest -> rest
+    | _ :: rest -> after_run rest
+  in
+  let rec take acc = function
+    | [] -> List.rev acc
+    | t :: _ when String.length t > 0 && (t.[0] = '-' || t.[0] = '#' || t.[0] = '|' || t.[0] = '>') ->
+        List.rev acc
+    | t :: rest -> take (t :: acc) rest
+  in
+  take [] (after_run tokens)
+
+let () =
+  if Array.length Sys.argv <> 3 then begin
+    prerr_endline "usage: check_readme README.md list.out";
+    exit 2
+  end;
+  let readme = read_file Sys.argv.(1) in
+  let ids = ids_of_list_output (read_file Sys.argv.(2)) in
+  if ids = [] then begin
+    prerr_endline "check_readme: parsed no experiment ids from `list` output";
+    exit 2
+  end;
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun m -> failures := m :: !failures) fmt in
+  List.iter
+    (fun id ->
+      if not (contains_word readme id) then
+        fail
+          "experiment %S (from `fastrak_sim list`) is not mentioned anywhere \
+           in README.md"
+          id)
+    ids;
+  List.iter
+    (fun line ->
+      if contains_word line "fastrak_sim" then
+        List.iter
+          (fun arg ->
+            if arg <> "all" && not (List.mem arg ids) then
+              fail
+                "README.md advertises `run %s`, but the CLI knows no such \
+                 experiment (run `fastrak_sim list`)"
+                arg)
+          (run_args line))
+    (lines_of readme);
+  match !failures with
+  | [] -> ()
+  | fs ->
+      List.iter (fun m -> Printf.eprintf "check_readme: %s\n" m) (List.rev fs);
+      exit 1

@@ -33,7 +33,12 @@ let experiments =
     ( "chaos",
       "Control plane under injected faults (lossy channels, retries, \
        dead-peer demotion); schedule from --faults" );
+    ( "dcscale",
+      "Multi-rack sharded engine: cross-rack express lanes, inter-rack \
+       VM migration, sharded vs single-engine; rack count from --racks" );
   ]
+
+let dcscale_racks = ref 16
 
 let run_one = function
   | "fig3" ->
@@ -64,6 +69,19 @@ let run_one = function
       Experiments.Fastrak_eval.print (Experiments.Fastrak_eval.run ())
   | "fig12" -> Experiments.Migration_tcp.print (Experiments.Migration_tcp.run ())
   | "chaos" -> Experiments.Chaos_eval.print (Experiments.Chaos_eval.run ())
+  | "dcscale" ->
+      let config =
+        { Experiments.Dcscale.default_config with racks = !dcscale_racks }
+      in
+      let sharded = Experiments.Dcscale.run ~config () in
+      let single =
+        Experiments.Dcscale.run
+          ~config:{ config with Experiments.Dcscale.sharded = false }
+          ()
+      in
+      Printf.printf "  lookahead window: %.1f us\n"
+        sharded.Experiments.Dcscale.lookahead_us;
+      Experiments.Dcscale.print_comparison ~sharded ~single
   | "ablation" ->
       Experiments.Ablation.print_scoring (Experiments.Ablation.run_scoring ());
       Experiments.Ablation.print_tcam
@@ -169,6 +187,16 @@ let run_cmd =
              busy; $(b,0) disables the exact tier so every hit comes from \
              a megaflow. Default: the built-in 8192/2048 config.")
   in
+  let racks =
+    Arg.(
+      value
+      & opt int 16
+      & info [ "racks" ] ~docv:"N"
+          ~doc:
+            "Rack count for the $(b,dcscale) experiment (1-84). Each rack \
+             is a full testbed on its own engine shard; rack 1 degenerates \
+             to the classic single-engine loop.")
+  in
   let monitors =
     let parse = function
       | "off" -> Ok `Off
@@ -195,8 +223,13 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const (fun scale trace faults metrics_out timeseries_out cache_capacity
-                 monitors ids ->
+                 racks monitors ids ->
           Experiments.Memcached_eval.requests_scale := scale;
+          if racks < 1 || racks > 84 then begin
+            Printf.eprintf "fastrak_sim: --racks must be in 1..84\n";
+            Stdlib.exit 1
+          end;
+          dcscale_racks := racks;
           (match cache_capacity with
           | None -> ()
           | Some n when n < 0 ->
@@ -285,7 +318,7 @@ let run_cmd =
               close_out oc
           | _ -> ())
       $ scale $ trace $ faults $ metrics_out $ timeseries_out $ cache_capacity
-      $ monitors $ ids)
+      $ racks $ monitors $ ids)
 
 let trace_export_cmd =
   let doc =

@@ -212,5 +212,30 @@ let commit_vm_migration t mg ~new_server =
         true
       end
 
+(* Cross-rack variant: the destination server belongs to a different
+   rack's Rule_manager, so adoption and commit are split. The
+   destination adopts the shipped profile; the source marks the
+   migration committed once the destination's ack arrives. If the ack
+   never does, the prepare timeout aborts as usual and the rules come
+   home. *)
+
+let adopt_vm_profile t ~server ~vm_ip ~profile =
+  match List.assoc_opt server t.locals with
+  | None -> invalid_arg ("Rule_manager: unknown server " ^ server)
+  | Some local ->
+      Local_controller.adopt_profile local profile;
+      Local_controller.revalidate_vm_cache local ~vm_ip ~reason:"vm_migration"
+
+let commit_vm_migration_remote t mg =
+  if mg.mg_state <> `Preparing then false
+  else begin
+    mg.mg_state <- `Committed;
+    cancel_timer t mg;
+    emit_stage t mg `Commit;
+    Obs.Span.finish ~now:(Engine.now t.engine) mg.mg_span ~outcome:"commit";
+    mg.mg_span <- Obs.Span.none;
+    true
+  end
+
 let migration_state mg = mg.mg_state
 let migration_profile mg = mg.mg_profile

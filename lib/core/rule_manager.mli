@@ -82,6 +82,28 @@ val abort_vm_migration : t -> migration -> unit
 (** Explicitly abort a preparing migration (also run automatically when
     the timeout expires). Idempotent; a no-op after commit. *)
 
+val adopt_vm_profile :
+  t ->
+  server:string ->
+  vm_ip:Netcore.Ipv4.t ->
+  profile:Demand_profile.t ->
+  unit
+(** Destination half of a {e cross-rack} migration: adopt a demand
+    profile shipped from another rack's rule manager at [server]'s
+    local controller and revalidate the VM's cached verdicts. The
+    source side stays in [`Preparing] until
+    {!commit_vm_migration_remote}.
+    @raise Invalid_argument if [server] is unknown. *)
+
+val commit_vm_migration_remote : t -> migration -> bool
+(** Source half of a cross-rack commit: mark the migration committed
+    once the destination rack has acked {!adopt_vm_profile} — the
+    profile has already left this rack, so nothing is adopted locally.
+    Returns [false] — and changes nothing — if the migration already
+    aborted (the ack lost the race against the prepare timeout; the
+    rules are back home and the destination's adopted profile is a
+    harmless duplicate of demand history). *)
+
 val migration_state : migration -> migration_state
 val migration_profile : migration -> Demand_profile.t option
 (** The detached demand profile riding the migration, for tests and

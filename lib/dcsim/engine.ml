@@ -64,5 +64,33 @@ let run ?until t =
                   fn ()))
   done
 
+let run_window t ~until_exclusive =
+  t.stopping <- false;
+  let continue = ref true in
+  while !continue do
+    if t.stopping then continue := false
+    else
+      match Event_queue.peek_time t.queue with
+      | None -> continue := false
+      | Some time when Simtime.(time >= until_exclusive) -> continue := false
+      | Some _ -> (
+          match Event_queue.pop t.queue with
+          | None -> continue := false
+          | Some (time, fn) ->
+              t.clock <- time;
+              t.processed <- t.processed + 1;
+              fn ())
+  done;
+  (* Leave the clock at the window boundary so a cross-shard injection
+     landing exactly on the boundary (the earliest instant the lookahead
+     invariant allows) still satisfies [at]'s not-in-the-past guard. *)
+  if (not t.stopping) && Simtime.(t.clock < until_exclusive) then
+    t.clock <- until_exclusive
+
+let next_event_time t = Event_queue.peek_time t.queue
+let pending_events t = Event_queue.length t.queue
+
+let advance_clock t time = if Simtime.(t.clock < time) then t.clock <- time
+
 let stop t = t.stopping <- true
 let events_processed t = t.processed

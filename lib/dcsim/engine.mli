@@ -31,7 +31,32 @@ val run : ?until:Simtime.t -> t -> unit
 (** Execute events in order. With [until], events scheduled later than
     the limit remain in the queue and the clock stops at [until]. *)
 
+val run_window : t -> until_exclusive:Simtime.t -> unit
+(** Execute events with timestamps {e strictly before} [until_exclusive]
+    and advance the clock to [until_exclusive] — one lockstep window of
+    a sharded run (see {!Cluster}). Unlike {!run}'s inclusive [until],
+    the exclusive bound guarantees that an event another shard schedules
+    here {e at} the boundary (the earliest instant the conservative
+    lookahead allows) is still in this engine's future. If {!stop} fires
+    mid-window the clock stays on the last executed event so the window
+    can be resumed. *)
+
+val next_event_time : t -> Simtime.t option
+(** Timestamp of the earliest pending event, without running it. The
+    cluster scheduler uses this to skip idle windows. *)
+
+val pending_events : t -> int
+(** Events currently in the queue (scheduled and not yet fired). *)
+
+val advance_clock : t -> Simtime.t -> unit
+(** Move the clock forward to [time] without running anything (no-op if
+    [time] is not in the future). The cluster scheduler uses this to
+    park idle shards at a time-limit boundary, mirroring what {!run}
+    [?until] does to a busy shard's clock. *)
+
 val stop : t -> unit
-(** Request that [run] return after the current event completes. *)
+(** Request that [run] (or {!run_window}) return after the current
+    event completes. *)
 
 val events_processed : t -> int
+(** Total events executed by this engine since {!create}. *)

@@ -12,6 +12,8 @@ type span = private int
 (** A duration in nanoseconds. Durations and instants are kept distinct
     so that e.g. two instants cannot be added together by mistake. *)
 
+(** {2 Instants: construction and conversion} *)
+
 val zero : t
 val of_ns : int -> t
 val of_us : float -> t
@@ -21,7 +23,11 @@ val to_ns : t -> int
 val to_us : t -> float
 val to_ms : t -> float
 val to_sec : t -> float
+
 val add : t -> span -> t
+(** The instant one duration later. *)
+
+(** {2 Durations: construction, arithmetic and conversion} *)
 
 val span_ns : int -> span
 val span_us : float -> span

@@ -461,6 +461,52 @@ let run_vswitch ~smoke =
     cache_tier_cases ~smoke ~flows:10_000 ~rules:256
     @ [ cache_churn_case ~smoke ~flows:10_000 ~rules:256 ~capacity:1_024 ]
 
+(* --- sharded engine --- *)
+
+(* Events/sec of the whole datacenter simulation vs shard count. Each
+   op is one simulation event; the baseline runs the identical topology
+   and workload on a single engine, so ns_per_op vs baseline prices the
+   conservative-lookahead scheduling overhead. *)
+let engine_case ~smoke ~racks =
+  let config =
+    {
+      Dcscale.default_config with
+      Dcscale.racks;
+      duration = (if smoke then 0.05 else 0.25);
+      express_messages = (if smoke then 32 else 128);
+      soft_messages = (if smoke then 8 else 32);
+    }
+  in
+  let min_time = if smoke then 0.0 else 0.3 in
+  let min_runs = if smoke then 1 else 2 in
+  let events = ref 0 and windows = ref 0 and shards = ref 1 in
+  let timed =
+    time_runs ~min_time ~min_runs (fun () ->
+        let r = Dcscale.run ~config () in
+        events := r.Dcscale.events;
+        windows := r.Dcscale.windows;
+        shards := r.Dcscale.shard_count)
+  in
+  let baseline =
+    time_runs ~min_time ~min_runs (fun () ->
+        ignore (Dcscale.run ~config:{ config with Dcscale.sharded = false } ()))
+  in
+  mk_result
+    ~scenario:(Printf.sprintf "engine/%dracks-%dshards" racks !shards)
+    ~unit_:"event"
+    ~params:
+      [
+        ("racks", float_of_int racks);
+        ("shards", float_of_int !shards);
+        ("windows", float_of_int !windows);
+        ("sim_seconds", config.Dcscale.duration);
+      ]
+    ~ops:!events ~baseline timed
+
+let run_engine ~smoke =
+  let rack_counts = if smoke then [ 1; 4 ] else [ 1; 4; 16; 64 ] in
+  List.map (fun racks -> engine_case ~smoke ~racks) rack_counts
+
 (* --- JSON emission --- *)
 
 let json_escape s =

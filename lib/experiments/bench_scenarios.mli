@@ -55,6 +55,13 @@ val run_vswitch : smoke:bool -> result list
     scenarios is the uncached full classification scan — the cost every
     lookup would pay without the cache. *)
 
+val run_engine : smoke:bool -> result list
+(** Whole-datacenter events/sec on the sharded engine ({!Dcscale}) at
+    1/4/16/64 racks (smoke: 1/4), one op per simulation event.
+    [baseline_ns_per_op] is the identical topology and workload on a
+    single engine, so the ratio prices the conservative-lookahead
+    windowing overhead. *)
+
 val write_json : bench:string -> out_dir:string -> result list -> string
 (** [write_json ~bench ~out_dir results] writes
     [out_dir/BENCH_<bench>.json] and returns the path written. *)

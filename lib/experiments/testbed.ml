@@ -11,23 +11,27 @@ type t = {
 
 let default_tenant = Netcore.Tenant.of_int 7
 
-let server_ip index = Ipv4.of_octets 192 168 1 (10 + index)
-let tor_address = Ipv4.of_octets 192 168 0 1
+let server_ip ?(rack = 0) index = Ipv4.of_octets 192 168 (1 + rack) (10 + index)
+let tor_address ?(rack = 0) () = Ipv4.of_octets 192 168 0 (1 + rack)
 
-let create ?(seed = 42) ?(config = Compute.Cost_params.baseline)
-    ?(server_count = 6) ?(tcam_capacity = 2048) () =
-  let engine = Engine.create ~seed () in
+let create ?engine ?(seed = 42) ?(config = Compute.Cost_params.baseline)
+    ?(server_count = 6) ?(tcam_capacity = 2048) ?(rack = 0)
+    ?(name_prefix = "") () =
+  let engine =
+    match engine with Some e -> e | None -> Engine.create ~seed ()
+  in
   (* Emission sites below the engine (TCAM, VRF) stamp events with the
-     registered clock; the newest testbed's engine wins. *)
+     registered clock; the newest testbed's engine wins. Multi-rack
+     builders override this with the cluster clock afterwards. *)
   Obs.Trace.set_clock (fun () -> Engine.now engine);
   let tor =
-    Tor.Tor_switch.create ~engine ~ip:tor_address ~tcam_capacity
+    Tor.Tor_switch.create ~engine ~ip:(tor_address ~rack ()) ~tcam_capacity
   in
   let servers =
     Array.init server_count (fun i ->
         Host.Server.create ~engine
-          ~name:(Printf.sprintf "server%d" i)
-          ~ip:(server_ip i) ~config ~tor)
+          ~name:(Printf.sprintf "%sserver%d" name_prefix i)
+          ~ip:(server_ip ~rack i) ~config ~tor)
   in
   { engine; tor; servers }
 

@@ -13,14 +13,24 @@ type t = {
 }
 
 val create :
+  ?engine:Dcsim.Engine.t ->
   ?seed:int ->
   ?config:Compute.Cost_params.vswitch_config ->
   ?server_count:int ->
   ?tcam_capacity:int ->
+  ?rack:int ->
+  ?name_prefix:string ->
   unit ->
   t
 (** Defaults: seed 42, baseline OVS config, 6 servers (as in §5.1),
-    2048 TCAM entries. *)
+    2048 TCAM entries, rack 0, empty name prefix. Passing [?engine]
+    builds the rack on an existing shard engine instead of creating a
+    fresh one ([seed] is then ignored); [rack] offsets the ToR loopback
+    (192.168.0.[1+rack]) and the server subnet (192.168.[1+rack].x) so
+    multiple racks coexist in one address space; [name_prefix] keeps
+    server names — and the per-server observability monitors keyed on
+    them — distinct across racks. The defaults reproduce the historic
+    single-rack testbed exactly. *)
 
 val default_tenant : Netcore.Tenant.id
 
@@ -52,6 +62,10 @@ val vm_spec :
 val vm_ip : tenant:Netcore.Tenant.id -> last_octet:int -> Netcore.Ipv4.t
 
 val add_vm : t -> vm_spec -> Host.Server.attached
+
+val server_of_vm : t -> Netcore.Ipv4.t -> Host.Server.t option
+(** The server hosting the VM with that address, if it was added to
+    this testbed. *)
 
 val connect_tunnels : t -> unit
 (** Install tunnel mappings (peer VM -> server/ToR) into every VM's

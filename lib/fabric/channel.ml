@@ -1,0 +1,66 @@
+module Engine = Dcsim.Engine
+module Simtime = Dcsim.Simtime
+module Cluster = Dcsim.Cluster
+
+type 'msg t = {
+  chan_name : string;
+  src : Engine.t;
+  dst : Engine.t;
+  latency : Simtime.span;
+  handler : 'msg -> unit;
+  mutable sent : int;
+  mutable delivered : int;
+  (* FIFO: a send never overtakes an earlier one, so a later send is
+     scheduled no earlier than the previous delivery instant. *)
+  mutable last_delivery : Simtime.t;
+}
+
+let create ?cluster ?(name = "fabric.chan") ~src ~dst ~latency ~handler () =
+  if src != dst && Simtime.span_to_ns latency <= 0 then
+    invalid_arg
+      (Printf.sprintf
+         "Fabric.Channel.create %s: cross-shard latency must be positive" name);
+  if Simtime.span_to_ns latency < 0 then
+    invalid_arg
+      (Printf.sprintf "Fabric.Channel.create %s: negative latency" name);
+  (match cluster with
+  | Some c when src != dst -> Cluster.constrain_lookahead c latency
+  | _ -> ());
+  {
+    chan_name = name;
+    src;
+    dst;
+    latency;
+    handler;
+    sent = 0;
+    delivered = 0;
+    last_delivery = Simtime.zero;
+  }
+
+let send t msg =
+  let now = Engine.now t.src in
+  let earliest = Simtime.add now t.latency in
+  let at =
+    if Simtime.(earliest < t.last_delivery) then t.last_delivery else earliest
+  in
+  if Simtime.(at < Engine.now t.dst) then
+    invalid_arg
+      (Format.asprintf
+         "Fabric.Channel.send %s: lookahead violation — delivery at %a is in \
+          the destination shard's past (%a); the channel's latency must be >= \
+          the cluster lookahead (register it with ~cluster)"
+         t.chan_name Simtime.pp at Simtime.pp (Engine.now t.dst));
+  t.last_delivery <- at;
+  t.sent <- t.sent + 1;
+  ignore
+    (Engine.at t.dst at (fun () ->
+         t.delivered <- t.delivered + 1;
+         t.handler msg))
+
+let name t = t.chan_name
+let latency t = t.latency
+let source t = t.src
+let destination t = t.dst
+let messages_sent t = t.sent
+let messages_delivered t = t.delivered
+let in_flight t = t.sent - t.delivered

@@ -1,0 +1,67 @@
+module Packet = Netcore.Packet
+module Ipv4 = Netcore.Ipv4
+
+let m_routed = Obs.Metrics.counter "fabric.core.routed"
+let m_drops = Obs.Metrics.counter "fabric.core.no_route_drops"
+
+type t = {
+  core_name : string;
+  engine : Dcsim.Engine.t;
+  downlinks : (int, Packet.t Channel.t) Hashtbl.t; (* tor ip -> downlink *)
+  server_rack : (int, int) Hashtbl.t; (* server ip -> tor ip *)
+  mutable routed : int;
+  mutable dropped : int;
+}
+
+let create ~engine ?(name = "core") () =
+  {
+    core_name = name;
+    engine;
+    downlinks = Hashtbl.create 16;
+    server_rack = Hashtbl.create 64;
+    routed = 0;
+    dropped = 0;
+  }
+
+let ip_key addr = Int32.to_int (Ipv4.to_int32 addr)
+
+let attach_rack t ~tor_ip ~downlink =
+  Hashtbl.replace t.downlinks (ip_key tor_ip) downlink
+
+let register_server t ~server_ip ~tor_ip =
+  Hashtbl.replace t.server_rack (ip_key server_ip) (ip_key tor_ip)
+
+let drop t =
+  t.dropped <- t.dropped + 1;
+  Obs.Metrics.incr m_drops
+
+let forward t key pkt =
+  match Hashtbl.find_opt t.downlinks key with
+  | Some downlink ->
+      t.routed <- t.routed + 1;
+      Obs.Metrics.incr m_routed;
+      Channel.send downlink pkt
+  | None -> drop t
+
+let receive t pkt =
+  match Packet.outer_encap pkt with
+  | Some (Packet.Gre { tunnel_dst; _ }) ->
+      (* Express-lane traffic: routed by the destination ToR loopback
+         in the outer GRE header. *)
+      forward t (ip_key tunnel_dst) pkt
+  | Some (Packet.Vxlan { tunnel_dst; _ }) -> (
+      (* Software-path traffic between racks: the outer address is the
+         destination server; route to its rack's ToR. *)
+      match Hashtbl.find_opt t.server_rack (ip_key tunnel_dst) with
+      | Some tor_key -> forward t tor_key pkt
+      | None -> drop t)
+  | Some (Packet.Vlan _) | None ->
+      (* VLAN-tagged and plain packets are rack-local by construction;
+         one reaching the core has no routable outer address. *)
+      drop t
+
+let name t = t.core_name
+let engine t = t.engine
+let racks_attached t = Hashtbl.length t.downlinks
+let packets_routed t = t.routed
+let packets_dropped t = t.dropped

@@ -15,6 +15,8 @@ val create :
   latency:Dcsim.Simtime.span ->
   deliver:(Netcore.Packet.t -> unit) ->
   t
+(** A link serialising at [gbps], then delaying each message by
+    [latency] before handing it to [deliver]. *)
 
 val wire_bytes : Netcore.Packet.t -> int
 (** On-the-wire bytes of a message: payload plus per-frame headers,
@@ -22,8 +24,20 @@ val wire_bytes : Netcore.Packet.t -> int
     the message occupies. *)
 
 val transmit : t -> Netcore.Packet.t -> unit
+(** Enqueue a message for serialisation; it is delivered one
+    serialisation delay plus [latency] after the wire frees up. *)
+
 val busy_seconds : t -> float
+(** Total simulated seconds the wire has spent serialising. *)
+
 val utilization : t -> over:Dcsim.Simtime.span -> float
+(** [busy_seconds] as a fraction of the given window. *)
+
 val packets_sent : t -> int
+(** Messages fully serialised so far. *)
+
 val bytes_sent : t -> int
+(** Wire bytes (per {!wire_bytes}) fully serialised so far. *)
+
 val queue_length : t -> int
+(** Messages waiting for the wire, not counting the one in flight. *)

@@ -3,6 +3,7 @@ let () =
   Alcotest.run "fastrak"
     [
       ("dcsim", Test_dcsim.suite);
+      ("engine", Test_engine.suite);
       ("netcore", Test_netcore.suite);
       ("rules", Test_rules.suite);
       ("shaping", Test_shaping.suite);
