@@ -9,11 +9,16 @@
    "quick" skips the slowest reproductions.
 
    Scalability mode: dune exec bench/main.exe -- bench
-   [decision|measurement|eventqueue|obs|vswitch|engine]* [--smoke] [--out-dir DIR]
+   [decision|measurement|eventqueue|obs|vswitch|hotpath|engine]*
+   [--smoke] [--out-dir DIR]
    runs the named scenario groups (all of them when none are named) and
    writes one BENCH_<group>.json each; --smoke shrinks sizes so the
    @bench-smoke alias stays cheap enough for every `dune runtest`.
-   Scenario list and JSON schema: docs/BENCH.md. *)
+   Scenario list and JSON schema: docs/BENCH.md.
+
+   Allocation gate: dune exec bench/main.exe -- alloc-check (the
+   @alloc-check tier-1 alias) fails if any steady-state per-packet
+   scenario allocates or a decide call exceeds its garbage budget. *)
 
 open Experiments
 
@@ -236,7 +241,11 @@ let run_bench_mode args =
   let smoke, out_dir, groups = parse (false, ".", []) args in
   let groups =
     match groups with
-    | [] -> [ "decision"; "measurement"; "eventqueue"; "obs"; "vswitch"; "engine" ]
+    | [] ->
+        [
+          "decision"; "measurement"; "eventqueue"; "obs"; "vswitch"; "hotpath";
+          "engine";
+        ]
     | l -> l
   in
   line ();
@@ -252,6 +261,7 @@ let run_bench_mode args =
         | "eventqueue" -> Bench_scenarios.run_eventqueue ~smoke
         | "obs" -> Bench_scenarios.run_obs ~smoke
         | "vswitch" -> Bench_scenarios.run_vswitch ~smoke
+        | "hotpath" -> Bench_scenarios.run_hotpath ~smoke
         | "engine" -> Bench_scenarios.run_engine ~smoke
         | g -> failwith ("unknown bench group: " ^ g)
       in
@@ -261,9 +271,31 @@ let run_bench_mode args =
       Printf.printf "  wrote %s\n" path)
     groups
 
+(* The allocation regression gate behind the @alloc-check tier-1
+   alias: exits non-zero if any steady-state per-packet scenario
+   allocates, or if a decide call exceeds 10% of the committed pre-PR
+   garbage (BENCH_decision.json). *)
+let run_alloc_check () =
+  print_endline "allocation regression gate (minor words per op vs budget)";
+  let checks = Experiments.Bench_scenarios.alloc_check () in
+  let failed = ref false in
+  List.iter
+    (fun ((r : Bench_scenarios.result), budget, ok) ->
+      if not ok then failed := true;
+      Printf.printf "  %-28s %12.2f words/op  (budget %10.2f)  %s\n"
+        r.Bench_scenarios.scenario r.Bench_scenarios.minor_words_per_op budget
+        (if ok then "ok" else "FAIL"))
+    checks;
+  if !failed then begin
+    print_endline "alloc-check: FAILED";
+    exit 1
+  end
+  else print_endline "alloc-check: ok"
+
 let () =
   selected := List.tl (Array.to_list Sys.argv);
   match !selected with
+  | [ "alloc-check" ] -> run_alloc_check ()
   | "bench" :: bench_args ->
       print_endline "FasTrak control-plane scalability benchmarks";
       run_bench_mode bench_args;

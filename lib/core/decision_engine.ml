@@ -22,35 +22,47 @@ type decision = {
    flow), its cost the sum. *)
 type unit_ = { members : candidate list; unit_score : float; unit_cost : int }
 
+(* Units are built in first-seen candidate order (a group unit sits at
+   its first member's position) so that ranking ties break the same way
+   in the list baseline and the array-based [decide] below — the old
+   [Hashtbl.fold] order was nondeterministic under hash changes. Group
+   member lists are built by prepending, i.e. in reverse candidate
+   order, which downstream output ordering depends on. *)
 let build_units candidates =
-  let groups : (int, candidate list) Hashtbl.t = Hashtbl.create 8 in
-  let singles =
-    List.filter
+  let groups : (int, candidate list ref) Hashtbl.t = Hashtbl.create 8 in
+  let slots =
+    List.filter_map
       (fun c ->
         match c.group with
-        | None -> true
-        | Some g ->
-            Hashtbl.replace groups g
-              (c :: Option.value (Hashtbl.find_opt groups g) ~default:[]);
-            false)
+        | None -> Some (`Single c)
+        | Some g -> (
+            match Hashtbl.find_opt groups g with
+            | Some r ->
+                r := c :: !r;
+                None
+            | None ->
+                let r = ref [ c ] in
+                Hashtbl.replace groups g r;
+                Some (`Group r)))
       candidates
   in
-  let group_units =
-    Hashtbl.fold
-      (fun _ members acc ->
-        let unit_score =
-          List.fold_left (fun m c -> Float.max m c.score) 0.0 members
-        in
-        let unit_cost = List.fold_left (fun s c -> s + c.tcam_entries) 0 members in
-        { members; unit_score; unit_cost } :: acc)
-      groups []
-  in
-  let single_units =
-    List.map
-      (fun c -> { members = [ c ]; unit_score = c.score; unit_cost = c.tcam_entries })
-      singles
-  in
-  group_units @ single_units
+  List.map
+    (function
+      | `Single c ->
+          { members = [ c ]; unit_score = c.score; unit_cost = c.tcam_entries }
+      | `Group r ->
+          let members = !r in
+          (* Fold from [neg_infinity], not 0.0: a group whose members
+             all score below zero must rank on its (negative) best
+             member, not spuriously at 0.0 above hotter singletons. *)
+          let unit_score =
+            List.fold_left (fun m c -> Float.max m c.score) neg_infinity members
+          in
+          let unit_cost =
+            List.fold_left (fun s c -> s + c.tcam_entries) 0 members
+          in
+          { members; unit_score; unit_cost })
+    slots
 
 let m_calls = Obs.Metrics.counter "fastrak.decide.calls"
 let m_offloads = Obs.Metrics.counter "fastrak.decide.offloads"
@@ -77,42 +89,209 @@ let ranked_units candidates ~min_score =
     (fun a b -> Float.compare b.unit_score a.unit_score)
     (build_units eligible)
 
-let decide ~candidates ~offloaded ~tcam_free ?(max_offloads = None) ~min_score () =
+(* Pooled scratch state for [decide]. All per-call working storage —
+   the eligible-candidate array, per-unit score/cost/member tables, the
+   rank order, and the two pattern membership tables — lives here and
+   is reused across calls, so a steady-state decide call allocates only
+   its output lists (plus hashtable bucket cells), not O(c log c) of
+   sort-and-cons garbage. Owned by the controller that calls decide. *)
+type scratch = {
+  mutable elig : candidate array;  (* eligible candidates, arrival order *)
+  mutable e_next : int array;  (* next member index within unit, -1 = end *)
+  mutable e_len : int;
+  mutable u_score : float array;  (* per-unit: best member score *)
+  mutable u_cost : int array;  (* per-unit: summed tcam entries *)
+  mutable u_head : int array;  (* per-unit: first member (elig index) *)
+  mutable u_tail : int array;  (* per-unit: last member (elig index) *)
+  mutable u_count : int array;  (* per-unit: member count *)
+  mutable u_len : int;
+  mutable order : int array;  (* unit ids, heap-sorted by rank *)
+  group_unit : (int, int) Hashtbl.t;  (* group id -> unit id *)
+  offloaded_tbl : candidate Ptbl.t;
+  selected_tbl : unit Ptbl.t;
+}
+
+let dummy_candidate =
+  {
+    pattern = Fkey.Pattern.any;
+    tenant = Netcore.Tenant.of_int 0;
+    vm_ip = Netcore.Ipv4.of_int32 0l;
+    score = 0.0;
+    tcam_entries = 0;
+    group = None;
+  }
+
+let create_scratch () =
+  {
+    elig = Array.make 64 dummy_candidate;
+    e_next = Array.make 64 (-1);
+    e_len = 0;
+    u_score = Array.make 64 0.0;
+    u_cost = Array.make 64 0;
+    u_head = Array.make 64 (-1);
+    u_tail = Array.make 64 (-1);
+    u_count = Array.make 64 0;
+    u_len = 0;
+    order = Array.make 64 0;
+    group_unit = Hashtbl.create 64;
+    offloaded_tbl = Ptbl.create 64;
+    selected_tbl = Ptbl.create 64;
+  }
+
+let grow_int a = Array.append a (Array.make (Array.length a) 0)
+
+let push_elig s c =
+  (if s.e_len = Array.length s.elig then begin
+     s.elig <- Array.append s.elig (Array.make (Array.length s.elig) dummy_candidate);
+     s.e_next <- grow_int s.e_next
+   end);
+  let e = s.e_len in
+  s.elig.(e) <- c;
+  s.e_next.(e) <- -1;
+  s.e_len <- e + 1;
+  e
+
+let push_unit s ~score ~cost ~head =
+  (if s.u_len = Array.length s.u_score then begin
+     s.u_score <- Array.append s.u_score (Array.make s.u_len 0.0);
+     s.u_cost <- grow_int s.u_cost;
+     s.u_head <- grow_int s.u_head;
+     s.u_tail <- grow_int s.u_tail;
+     s.u_count <- grow_int s.u_count;
+     s.order <- grow_int s.order
+   end);
+  let u = s.u_len in
+  s.u_score.(u) <- score;
+  s.u_cost.(u) <- cost;
+  s.u_head.(u) <- head;
+  s.u_tail.(u) <- head;
+  s.u_count.(u) <- 1;
+  s.u_len <- u + 1;
+  u
+
+(* In-place heapsort of [s.order]'s first [n] slots: descending unit
+   score, ties by ascending unit id (= first-seen order), i.e. exactly
+   the [List.stable_sort] rank order of the list baseline — without
+   allocating the sorted list. *)
+let sort_order s n =
+  let ord = s.order in
+  (* [gt a b]: unit [a] sorts strictly after unit [b]. *)
+  let gt a b =
+    s.u_score.(a) < s.u_score.(b)
+    || (s.u_score.(a) = s.u_score.(b) && a > b)
+  in
+  let sift_down start len =
+    let root = ref start in
+    let continue_ = ref true in
+    while !continue_ do
+      let child = (2 * !root) + 1 in
+      if child >= len then continue_ := false
+      else begin
+        let child =
+          if child + 1 < len && gt ord.(child + 1) ord.(child) then child + 1
+          else child
+        in
+        if gt ord.(child) ord.(!root) then begin
+          let tmp = ord.(!root) in
+          ord.(!root) <- ord.(child);
+          ord.(child) <- tmp;
+          root := child
+        end
+        else continue_ := false
+      end
+    done
+  in
+  for i = (n / 2) - 1 downto 0 do
+    sift_down i n
+  done;
+  for i = n - 1 downto 1 do
+    let tmp = ord.(0) in
+    ord.(0) <- ord.(i);
+    ord.(i) <- tmp;
+    sift_down 0 i
+  done
+
+let decide ?scratch ~candidates ~offloaded ~tcam_free ?(max_offloads = None)
+    ~min_score () =
   Obs.Metrics.incr m_calls;
+  let s = match scratch with Some s -> s | None -> create_scratch () in
+  Ptbl.clear s.offloaded_tbl;
+  Ptbl.clear s.selected_tbl;
+  Hashtbl.clear s.group_unit;
+  s.e_len <- 0;
+  s.u_len <- 0;
   (* One walk over [offloaded] funds the budget and fills the
      membership table; every later "currently in hardware?" question is
-     an O(1) lookup instead of a list scan per candidate. *)
-  let offloaded_tbl : candidate Ptbl.t =
-    Ptbl.create (Stdlib.max 16 (2 * List.length offloaded))
-  in
-  (* Total budget: free entries plus everything currently offloaded,
-     since non-winners are demoted and return their entries. *)
-  let budget =
-    tcam_free
-    + List.fold_left
-        (fun s (p, c) ->
-          Ptbl.replace offloaded_tbl p c;
-          s + c.tcam_entries)
-        0 offloaded
-  in
-  let units = ranked_units candidates ~min_score in
+     an O(1) lookup instead of a list scan per candidate. Total budget:
+     free entries plus everything currently offloaded, since
+     non-winners are demoted and return their entries. *)
+  let budget = ref tcam_free in
+  List.iter
+    (fun (p, c) ->
+      Ptbl.replace s.offloaded_tbl p c;
+      budget := !budget + c.tcam_entries)
+    offloaded;
+  (* Eligibility filter and unit construction in one pass, first-seen
+     unit order, members chained in candidate order via [e_next]. *)
+  List.iter
+    (fun c ->
+      if c.score >= min_score then begin
+        let e = push_elig s c in
+        match c.group with
+        | None -> ignore (push_unit s ~score:c.score ~cost:c.tcam_entries ~head:e)
+        | Some g -> (
+            match Hashtbl.find s.group_unit g with
+            | u ->
+                s.e_next.(s.u_tail.(u)) <- e;
+                s.u_tail.(u) <- e;
+                s.u_count.(u) <- s.u_count.(u) + 1;
+                s.u_cost.(u) <- s.u_cost.(u) + c.tcam_entries;
+                if c.score > s.u_score.(u) then s.u_score.(u) <- c.score
+            | exception Not_found ->
+                let u = push_unit s ~score:c.score ~cost:c.tcam_entries ~head:e in
+                Hashtbl.replace s.group_unit g u)
+      end)
+    candidates;
+  for i = 0 to s.u_len - 1 do
+    s.order.(i) <- i
+  done;
+  sort_order s s.u_len;
+  (* Greedy selection over the rank order. Prepending each member (unit
+     members walked in candidate order) reproduces the list baseline's
+     output order exactly: its selected list is
+     members_rev(U_last) @ … @ members_rev(U_first). *)
   let count_cap = match max_offloads with Some n -> n | None -> max_int in
-  let selected = select_units ~budget ~count_cap units in
-  let selected_tbl : unit Ptbl.t =
-    Ptbl.create (Stdlib.max 16 (2 * List.length selected))
-  in
-  List.iter (fun c -> Ptbl.replace selected_tbl c.pattern ()) selected;
-  let offload, keep =
-    List.partition (fun c -> not (Ptbl.mem offloaded_tbl c.pattern)) selected
-  in
+  let budget_left = ref !budget in
+  let slots_left = ref count_cap in
+  let offload = ref [] in
+  let keep = ref [] in
+  let n_offload = ref 0 in
+  for k = 0 to s.u_len - 1 do
+    let u = s.order.(k) in
+    if s.u_cost.(u) <= !budget_left && s.u_count.(u) <= !slots_left then begin
+      budget_left := !budget_left - s.u_cost.(u);
+      slots_left := !slots_left - s.u_count.(u);
+      let m = ref s.u_head.(u) in
+      while !m >= 0 do
+        let c = s.elig.(!m) in
+        Ptbl.replace s.selected_tbl c.pattern ();
+        if Ptbl.mem s.offloaded_tbl c.pattern then keep := c :: !keep
+        else begin
+          incr n_offload;
+          offload := c :: !offload
+        end;
+        m := s.e_next.(!m)
+      done
+    end
+  done;
   let demote =
     List.filter_map
-      (fun (p, c) -> if Ptbl.mem selected_tbl p then None else Some c)
+      (fun (p, c) -> if Ptbl.mem s.selected_tbl p then None else Some c)
       offloaded
   in
-  Obs.Metrics.add m_offloads (List.length offload);
+  Obs.Metrics.add m_offloads !n_offload;
   Obs.Metrics.add m_demotes (List.length demote);
-  { offload; demote; keep }
+  { offload = !offload; demote; keep = !keep }
 
 let decide_list_baseline ~candidates ~offloaded ~tcam_free
     ?(max_offloads = None) ~min_score () =

@@ -22,7 +22,19 @@ type decision = {
   keep : candidate list;  (** In hardware and still winning. *)
 }
 
+type scratch
+(** Pooled per-call working storage for {!decide}: pre-sized pattern
+    membership tables, the eligible-candidate array, per-unit ranking
+    arrays and the in-place sort order. Create one per controller and
+    pass it to every {!decide} call; reuse across calls is what cuts
+    decide-call garbage by an order of magnitude (see
+    [BENCH_decision.json]). Not reentrant: one scratch must not be
+    shared by concurrently running decide calls. *)
+
+val create_scratch : unit -> scratch
+
 val decide :
+  ?scratch:scratch ->
   candidates:candidate list ->
   offloaded:(Netcore.Fkey.Pattern.t * candidate) list ->
   tcam_free:int ->

@@ -94,6 +94,8 @@ type t = {
   mutable running : bool;
   (* Last (instant, vswitch tx, VF tx) sample for per-path pps deltas. *)
   mutable ts_prev : (Simtime.t * int * int) option;
+  (* Pooled working storage reused by every decide call. *)
+  decide_scratch : Decision_engine.scratch;
 }
 
 let create ~engine ~config ~tor ~lookup_vm ?(tenant_priority = fun _ -> 1.0)
@@ -141,6 +143,7 @@ let create ~engine ~config ~tor ~lookup_vm ?(tenant_priority = fun _ -> 1.0)
       decisions = 0;
       running = false;
       ts_prev = None;
+      decide_scratch = Decision_engine.create_scratch ();
     }
   in
   t_ref := Some t;
@@ -591,7 +594,8 @@ let run_decision t =
       t.offloaded
   in
   let decision =
-    Decision_engine.decide ~candidates ~offloaded:offloaded_for_decide
+    Decision_engine.decide ~scratch:t.decide_scratch ~candidates
+      ~offloaded:offloaded_for_decide
       ~tcam_free:(Tor.Tcam.available (Tor.Tor_switch.tcam t.tor))
       ~max_offloads:t.config.Config.max_offloads
       ~min_score:t.config.Config.min_score ()

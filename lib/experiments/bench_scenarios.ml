@@ -91,9 +91,13 @@ let decision_case ~smoke ~with_baseline ~candidates:n ~offloaded:o =
   let offloaded = mk_offloaded candidates ~offloaded:o in
   let o = List.length offloaded in
   let tcam_free = n in
+  (* Production callers (one ToR controller) reuse one scratch across
+     decide calls; the bench does the same so minor_words_per_op prices
+     the steady state, not first-call arena growth. *)
+  let scratch = De.create_scratch () in
   let run_decide () =
     ignore
-      (De.decide ~candidates ~offloaded ~tcam_free ~min_score:100.0 ())
+      (De.decide ~scratch ~candidates ~offloaded ~tcam_free ~min_score:100.0 ())
   in
   let min_time = if smoke then 0.02 else 0.2 in
   let timed = time_runs ~min_time run_decide in
@@ -460,6 +464,179 @@ let run_vswitch ~smoke =
   else
     cache_tier_cases ~smoke ~flows:10_000 ~rules:256
     @ [ cache_churn_case ~smoke ~flows:10_000 ~rules:256 ~capacity:1_024 ]
+
+(* --- zero-allocation packet hot path (docs/BENCH.md) ---
+
+   Prices the per-packet primitives that the datapath executes on
+   every forwarded packet in the steady state: the exact-tier cache
+   hit, flow-key hashing, packed-key probes, key packing, and the NIC
+   flow placer's cached rule lookup. The first three and the last must
+   allocate nothing — [minor_words_per_op = 0.0] is an acceptance bar
+   enforced by the [@alloc-check] alias, not a nice-to-have. *)
+
+let hotpath_cache_hit ~smoke =
+  let n = if smoke then 500 else 10_000 in
+  let rules = if smoke then 64 else 256 in
+  let p = mk_cache_policy ~rules in
+  let flows = mk_cache_flows n in
+  let keys = Array.map Fkey.Packed.of_fkey flows in
+  let now = Simtime.of_ms 1.0 in
+  let c =
+    Cache.create
+      ~config:(cache_config ~exact:(2 * n) ~megaflow:4096)
+      ~name:"bench.hot" ~policy:p ()
+  in
+  Array.iter (fun f -> ignore (Cache.install c f ~now)) flows;
+  (* Warm once so every timed probe is a steady-state hit. *)
+  Array.iter (fun k -> ignore (Cache.find_exact c k ~now)) keys;
+  let run_scenario () =
+    Array.iter (fun k -> ignore (Cache.find_exact c k ~now)) keys
+  in
+  let min_time = if smoke then 0.02 else 0.2 in
+  let timed = time_runs ~min_time run_scenario in
+  mk_result
+    ~scenario:"hotpath/cache-hit-exact"
+    ~unit_:"lookup"
+    ~params:
+      [
+        ("flows", float_of_int n);
+        ("acl_rules", float_of_int rules);
+        ("exact_entries", float_of_int (Cache.exact_count c));
+      ]
+    ~ops:n timed
+
+let mk_hot_keys n =
+  Array.init n (fun i ->
+      Fkey.make ~src_ip:(ip_of_index i)
+        ~dst_ip:(ip_of_index (n + i))
+        ~src_port:((1024 + i) land 0xFFFF)
+        ~dst_port:(80 + (i land 63))
+        ~proto:(match i land 3 with 0 -> Fkey.Tcp | 1 -> Fkey.Udp | 2 -> Fkey.Icmp | _ -> Fkey.Other (i land 127))
+        ~tenant)
+
+let hotpath_fkey_hash ~smoke =
+  let n = if smoke then 2_000 else 65_536 in
+  let flows = mk_hot_keys n in
+  let sink = ref 0 in
+  let run_scenario () =
+    Array.iter (fun f -> sink := !sink lxor Fkey.hash f) flows
+  in
+  let min_time = if smoke then 0.02 else 0.2 in
+  let timed = time_runs ~min_time run_scenario in
+  ignore !sink;
+  mk_result ~scenario:"hotpath/fkey-hash" ~unit_:"hash"
+    ~params:[ ("keys", float_of_int n) ]
+    ~ops:n timed
+
+let hotpath_packed_probe ~smoke =
+  let n = if smoke then 2_000 else 65_536 in
+  let keys = Array.map Fkey.Packed.of_fkey (mk_hot_keys n) in
+  let probe = keys.(n / 2) in
+  let sink = ref 0 in
+  let run_scenario () =
+    Array.iter
+      (fun k ->
+        sink := !sink lxor Fkey.Packed.hash k;
+        if Fkey.Packed.equal k probe then incr sink)
+      keys
+  in
+  let min_time = if smoke then 0.02 else 0.2 in
+  let timed = time_runs ~min_time run_scenario in
+  ignore !sink;
+  mk_result ~scenario:"hotpath/packed-hash-equal" ~unit_:"probe"
+    ~params:[ ("keys", float_of_int n) ]
+    ~ops:n timed
+
+let hotpath_pack ~smoke =
+  let n = if smoke then 2_000 else 65_536 in
+  let flows = mk_hot_keys n in
+  let sink = ref 0 in
+  let run_scenario () =
+    Array.iter
+      (fun f -> sink := !sink lxor Fkey.Packed.hash (Fkey.Packed.of_fkey f))
+      flows
+  in
+  let min_time = if smoke then 0.02 else 0.2 in
+  let timed = time_runs ~min_time run_scenario in
+  ignore !sink;
+  mk_result ~scenario:"hotpath/packed-of-fkey" ~unit_:"pack"
+    ~params:[ ("keys", float_of_int n) ]
+    ~ops:n timed
+
+let hotpath_rule_cache ~smoke =
+  let n = if smoke then 500 else 10_000 in
+  let rules = if smoke then 64 else 250 in
+  let table = Rules.Rule_table.create () in
+  for i = 0 to rules - 1 do
+    ignore
+      (Rules.Rule_table.insert table
+         ~pattern:
+           { Fkey.Pattern.any with Fkey.Pattern.dst_port = Some (20_000 + i) }
+         ~priority:i ())
+  done;
+  let flows = mk_hot_keys n in
+  let keys = Array.map Fkey.Packed.of_fkey flows in
+  (* Warm the exact cache: the timed loop is all fast-path hits, the
+     NIC flow placer's per-packet probe. *)
+  Array.iteri
+    (fun i f -> ignore (Rules.Rule_table.find table keys.(i) f))
+    flows;
+  let run_scenario () =
+    Array.iteri
+      (fun i f -> ignore (Rules.Rule_table.find table keys.(i) f))
+      flows
+  in
+  let min_time = if smoke then 0.02 else 0.2 in
+  let timed = time_runs ~min_time run_scenario in
+  mk_result ~scenario:"hotpath/rule-cache-hit" ~unit_:"lookup"
+    ~params:[ ("flows", float_of_int n); ("rules", float_of_int rules) ]
+    ~ops:n timed
+
+let run_hotpath ~smoke =
+  [
+    hotpath_cache_hit ~smoke;
+    hotpath_fkey_hash ~smoke;
+    hotpath_packed_probe ~smoke;
+    hotpath_pack ~smoke;
+    hotpath_rule_cache ~smoke;
+  ]
+
+(* --- allocation regression gate (@alloc-check) ---
+
+   Allocation counts are deterministic, so smoke sizes suffice. The
+   zero bars use a small epsilon: the timing loop itself boxes a
+   couple of [Sys.time] floats per *run*, which amortised over the
+   per-run op count is well under 0.05 words/op — any real per-op
+   allocation (one [Some], one tuple) costs >= 2 whole words. The
+   decide bar is 10% of the committed pre-PR BENCH_decision.json
+   number (682978.0 words/call at decide/10000c-2000o). *)
+
+let alloc_check () =
+  let zero_bar = 0.05 in
+  let budgets =
+    [
+      ("hotpath/cache-hit-exact", zero_bar);
+      ("hotpath/fkey-hash", zero_bar);
+      ("hotpath/packed-hash-equal", zero_bar);
+      (* Packing allocates exactly one 4-field record (5 words). *)
+      ("hotpath/packed-of-fkey", 8.0);
+      ("hotpath/rule-cache-hit", zero_bar);
+      ("decide/10000c-2000o", 68297.8);
+    ]
+  in
+  let results =
+    run_hotpath ~smoke:true
+    @ [
+        decision_case ~smoke:true ~with_baseline:false ~candidates:10_000
+          ~offloaded:2_000;
+      ]
+  in
+  List.filter_map
+    (fun r ->
+      match List.assoc_opt r.scenario budgets with
+      | None -> None
+      | Some budget -> Some (r, budget, r.minor_words_per_op <= budget))
+    results
 
 (* --- sharded engine --- *)
 

@@ -55,6 +55,23 @@ val run_vswitch : smoke:bool -> result list
     scenarios is the uncached full classification scan — the cost every
     lookup would pay without the cache. *)
 
+val run_hotpath : smoke:bool -> result list
+(** Per-packet steady-state primitives: exact-tier cache hits over
+    pre-packed keys ({!Vswitch.Flow_cache.find_exact}), {!Netcore.Fkey.hash},
+    packed-key hash+equal probes, {!Netcore.Fkey.Packed.of_fkey}
+    packing cost, and the NIC flow placer's cached
+    {!Rules.Rule_table.find}. Every scenario except [packed-of-fkey]
+    must report [minor_words_per_op = 0.0]; {!alloc_check} enforces
+    this. *)
+
+val alloc_check : unit -> (result * float * bool) list
+(** Run the allocation regression gate (smoke sizes — allocation
+    counts are deterministic): each entry is (result, budget in minor
+    words/op, within-budget?). Zero-bar scenarios use a 0.05 epsilon
+    for the timing loop's own [Sys.time] float boxing; the decide bar
+    is 10% of the committed pre-PR BENCH_decision.json number. Backs
+    the [@alloc-check] tier-1 alias. *)
+
 val run_engine : smoke:bool -> result list
 (** Whole-datacenter events/sec on the sharded engine ({!Dcscale}) at
     1/4/16/64 racks (smoke: 1/4), one op per simulation event.

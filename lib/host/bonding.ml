@@ -15,10 +15,12 @@ type t = {
 let create ~vif_tx ~vf_tx =
   { vif_tx; vf_tx; rules = Rules.Rule_table.create (); via_vif = 0; via_vf = 0 }
 
+(* Packing the key here is the one conversion at the Fkey boundary;
+   the cached rule-table probe itself allocates nothing. *)
 let decide t flow =
-  match Rules.Rule_table.lookup t.rules flow with
-  | `Hit (Some p) | `Miss (Some p) -> p
-  | `Hit None | `Miss None -> Vif
+  match Rules.Rule_table.find t.rules (Netcore.Fkey.Packed.of_fkey flow) flow with
+  | Some p -> p
+  | None -> Vif
 
 let transmit t pkt =
   match decide t pkt.Netcore.Packet.flow with

@@ -23,9 +23,15 @@ type t = {
   host_pool : Compute.Cpu_pool.t;
   wire : Fabric.Link.t;
   mutable vfs : vf list;
-  steering : (int * int, vf) Hashtbl.t;  (* (vlan, ip) -> vf *)
+  steering : (int, vf) Hashtbl.t;  (* (vlan lsl 32) lor ip -> vf *)
   mutable dropped : int;
 }
+
+(* VLAN ids are <= 4094 and IPv4 addresses fit 32 bits, so the pair
+   packs injectively into one immediate int — no tuple allocated per
+   received packet. *)
+let[@inline] steering_key ~vlan ip =
+  (vlan lsl 32) lor (Int32.to_int (Netcore.Ipv4.to_int32 ip) land 0xFFFF_FFFF)
 
 let create ~engine ?(max_vfs = 64) ~host_pool ~wire () =
   {
@@ -71,9 +77,7 @@ let allocate_vf t ~mac ~vlan ~tenant ~vm_ip ~deliver =
     in
     vf_ref := Some vf;
     t.vfs <- vf :: t.vfs;
-    Hashtbl.replace t.steering
-      (vlan, Int32.to_int (Netcore.Ipv4.to_int32 vm_ip))
-      vf;
+    Hashtbl.replace t.steering (steering_key ~vlan vm_ip) vf;
     Ok vf
   end
 
@@ -97,14 +101,12 @@ let receive_from_wire t pkt =
   match Packet.outer_encap pkt with
   | Some (Packet.Vlan vlan) ->
       let dst = pkt.Packet.flow.Netcore.Fkey.dst_ip in
-      (match
-         Hashtbl.find_opt t.steering (vlan, Int32.to_int (Netcore.Ipv4.to_int32 dst))
-       with
-      | Some vf ->
+      (match Hashtbl.find t.steering (steering_key ~vlan dst) with
+      | vf ->
           ignore (Packet.pop_encap pkt);
           Obs.Metrics.incr m_vf_rx;
           Shaping.Shaper.enqueue vf.rx_shaper pkt
-      | None ->
+      | exception Not_found ->
           t.dropped <- t.dropped + 1;
           Obs.Metrics.incr m_steering_drops)
   | Some (Packet.Gre _ | Packet.Vxlan _) | None ->

@@ -17,8 +17,11 @@ type t = {
   mutable vrfs : (int * Vrf.t) list;  (* tenant id -> vrf *)
   vlan_to_tenant : (int, Netcore.Tenant.id) Hashtbl.t;
   servers : (int, server_port) Hashtbl.t;  (* server ip -> ports *)
-  vm_location : (int * int, int * [ `Vswitch | `Sriov ]) Hashtbl.t;
-      (* (tenant, vm ip) -> (server ip, delivery port) *)
+  vm_location : (int, (int, int * [ `Vswitch | `Sriov ]) Hashtbl.t) Hashtbl.t;
+      (* tenant -> vm ip -> (server ip, delivery port). Nested int
+         tables rather than a tuple key: both ids are full 32-bit
+         domains (no single-int packing) and building a tuple per
+         forwarded packet was hot-path garbage. *)
   peers : (int, Packet.t -> unit) Hashtbl.t;
   offloaded_stats : Vswitch.Flow_stats.t;
   mutable acl_drops : int;
@@ -76,9 +79,23 @@ let attach_server t ~server_ip ~to_vswitch ~to_sriov =
     }
 
 let register_vm t ~tenant ~vm_ip ~server_ip ?(port = `Vswitch) () =
-  Hashtbl.replace t.vm_location
-    (Netcore.Tenant.to_int tenant, ip_key vm_ip)
-    (ip_key server_ip, port)
+  let tkey = Netcore.Tenant.to_int tenant in
+  let inner =
+    match Hashtbl.find_opt t.vm_location tkey with
+    | Some inner -> inner
+    | None ->
+        let inner = Hashtbl.create 16 in
+        Hashtbl.replace t.vm_location tkey inner;
+        inner
+  in
+  Hashtbl.replace inner (ip_key vm_ip) (ip_key server_ip, port)
+
+(* Allocation-free per-packet VM lookup: two [Hashtbl.find]s on int
+   keys; raises [Not_found] when the VM is unknown. *)
+let vm_lookup t ~tenant ~dst_ip =
+  Hashtbl.find
+    (Hashtbl.find t.vm_location (Netcore.Tenant.to_int tenant))
+    (ip_key dst_ip)
 
 let add_peer t peer_ip forward = Hashtbl.replace t.peers (ip_key peer_ip) forward
 
@@ -119,12 +136,9 @@ let handle_gre_rx t pkt ~key:tenant =
   if not (Vrf.permits vrf_table flow) then drop_acl t
   else begin
     let queue = Vrf.queue_for vrf_table flow in
-    match
-      Hashtbl.find_opt t.vm_location
-        (Netcore.Tenant.to_int tenant, ip_key flow.Fkey.dst_ip)
-    with
-    | None -> drop_no_route t
-    | Some (server_key, _) ->
+    match vm_lookup t ~tenant ~dst_ip:flow.Fkey.dst_ip with
+    | exception Not_found -> drop_no_route t
+    | server_key, _ ->
         Packet.push_encap pkt (Packet.Vlan (Netcore.Tenant.to_vlan tenant));
         ignore
           (Engine.after t.engine Cost.tor_vrf_latency (fun () ->
@@ -190,19 +204,15 @@ let receive t pkt =
   | None -> (
       (* Plain packet (untunneled software path): route by VM location. *)
       let flow = pkt.Packet.flow in
-      match
-        Hashtbl.find_opt t.vm_location
-          (Netcore.Tenant.to_int flow.Fkey.tenant, ip_key flow.Fkey.dst_ip)
-      with
-      | Some (server_key, `Vswitch) ->
-          to_server_vswitch t ~server_key ~queue:0 pkt
-      | Some (server_key, `Sriov) ->
+      match vm_lookup t ~tenant:flow.Fkey.tenant ~dst_ip:flow.Fkey.dst_ip with
+      | server_key, `Vswitch -> to_server_vswitch t ~server_key ~queue:0 pkt
+      | server_key, `Sriov ->
           (* Statically steered to the hardware path: tag with the
              tenant VLAN so the NIC can pick the VF. *)
           Packet.push_encap pkt
             (Packet.Vlan (Netcore.Tenant.to_vlan flow.Fkey.tenant));
           to_server_sriov t ~server_key ~queue:0 pkt
-      | None -> drop_no_route t)
+      | exception Not_found -> drop_no_route t)
 
 let offloaded_flows t = Vswitch.Flow_stats.to_list t.offloaded_stats
 let acl_drops t = t.acl_drops

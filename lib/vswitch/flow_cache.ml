@@ -44,69 +44,72 @@ let default_config =
       revalidate_period = Simtime.span_ms 500.0;
     }
 
-(* --- intrusive LRU list (front = most recently used) --- *)
+(* --- intrusive LRU list (front = most recently used) ---
+
+   Circular doubly-linked list around a sentinel node, so prev/next are
+   plain (non-option) pointers and [touch] — on every cache hit — is
+   pure pointer surgery with zero allocation. The old option-typed
+   links allocated two [Some] blocks per relink, i.e. per packet. *)
 
 module Lru = struct
   type 'a node = {
     v : 'a;
-    mutable prev : 'a node option;
-    mutable next : 'a node option;
+    mutable prev : 'a node;
+    mutable next : 'a node;
     mutable linked : bool;
   }
 
-  type 'a t = {
-    mutable front : 'a node option;
-    mutable back : 'a node option;
-    mutable len : int;
-  }
+  type 'a t = { sentinel : 'a node; mutable len : int }
 
-  let create () = { front = None; back = None; len = 0 }
+  (* [dummy] is never looked at: it only fills the sentinel's slot. *)
+  let create ~dummy =
+    let rec s = { v = dummy; prev = s; next = s; linked = false } in
+    { sentinel = s; len = 0 }
+
   let length t = t.len
 
+  let insert_after p n =
+    n.prev <- p;
+    n.next <- p.next;
+    p.next.prev <- n;
+    p.next <- n
+
   let push_front t v =
-    let n = { v; prev = None; next = t.front; linked = true } in
-    (match t.front with Some f -> f.prev <- Some n | None -> t.back <- Some n);
-    t.front <- Some n;
+    let n = { v; prev = t.sentinel; next = t.sentinel; linked = true } in
+    insert_after t.sentinel n;
     t.len <- t.len + 1;
     n
 
   let unlink t n =
     if n.linked then begin
-      (match n.prev with Some p -> p.next <- n.next | None -> t.front <- n.next);
-      (match n.next with Some s -> s.prev <- n.prev | None -> t.back <- n.prev);
-      n.prev <- None;
-      n.next <- None;
+      n.prev.next <- n.next;
+      n.next.prev <- n.prev;
+      n.prev <- n;
+      n.next <- n;
       n.linked <- false;
       t.len <- t.len - 1
     end
 
   let touch t n =
-    match t.front with
-    | Some f when f == n -> ()
-    | _ ->
-        if n.linked then begin
-          unlink t n;
-          n.next <- t.front;
-          n.linked <- true;
-          (match t.front with
-          | Some f -> f.prev <- Some n
-          | None -> t.back <- Some n);
-          t.front <- Some n;
-          t.len <- t.len + 1
-        end
+    if n.linked && t.sentinel.next != n then begin
+      n.prev.next <- n.next;
+      n.next.prev <- n.prev;
+      insert_after t.sentinel n
+    end
 
-  let back_value t = Option.map (fun n -> n.v) t.back
+  let back_value t = if t.len = 0 then None else Some t.sentinel.prev.v
 
   let clear t =
-    t.front <- None;
-    t.back <- None;
+    t.sentinel.prev <- t.sentinel;
+    t.sentinel.next <- t.sentinel;
     t.len <- 0
 end
 
 (* --- entries --- *)
 
 type exact_entry = {
-  ex_flow : Fkey.t;
+  ex_key : Fkey.Packed.t;  (* the table key; probes are allocation-free *)
+  ex_flow : Fkey.t;  (* boxed form for traces and revalidation *)
   mutable ex_verdict : Rules.Policy.verdict;
   mutable ex_last_used : Simtime.t;
   mutable ex_node : exact_entry Lru.node option;
@@ -126,7 +129,7 @@ type t = {
   config : config;
   policy : Rules.Policy.t;
   mutable seen_generation : int;
-  exact : exact_entry Fkey.Table.t;
+  exact : exact_entry Fkey.Packed.Table.t;
   exact_lru : exact_entry Lru.t;
   (* One hash table per distinct mask; a lookup probes each with the
      flow's projection. The number of distinct masks is bounded by the
@@ -162,6 +165,36 @@ let gauge_add g delta =
 
 (* --- construction / accessors --- *)
 
+(* Placeholder values for the LRU sentinels; never read. *)
+let dummy_flow =
+  Fkey.make
+    ~src_ip:(Netcore.Ipv4.of_int32 0l)
+    ~dst_ip:(Netcore.Ipv4.of_int32 0l)
+    ~src_port:0 ~dst_port:0 ~proto:Fkey.Tcp
+    ~tenant:(Netcore.Tenant.of_int 0)
+
+let dummy_verdict =
+  { Rules.Policy.action = Rules.Security_rule.Deny; queue = 0; tunnel = None }
+
+let dummy_exact =
+  {
+    ex_key = Fkey.Packed.of_fkey dummy_flow;
+    ex_flow = dummy_flow;
+    ex_verdict = dummy_verdict;
+    ex_last_used = Simtime.zero;
+    ex_node = None;
+  }
+
+let dummy_mf =
+  {
+    mf_pattern = Pattern.any;
+    mf_mask = Mask.none;
+    mf_verdict = dummy_verdict;
+    mf_witness = dummy_flow;
+    mf_last_used = Simtime.zero;
+    mf_node = None;
+  }
+
 let create ?config ~name ~policy () =
   let config = match config with Some c -> c | None -> !default_config in
   {
@@ -169,10 +202,10 @@ let create ?config ~name ~policy () =
     config;
     policy;
     seen_generation = Rules.Policy.generation policy;
-    exact = Fkey.Table.create 256;
-    exact_lru = Lru.create ();
+    exact = Fkey.Packed.Table.create 256;
+    exact_lru = Lru.create ~dummy:dummy_exact;
     mf_tables = [];
-    mf_lru = Lru.create ();
+    mf_lru = Lru.create ~dummy:dummy_mf;
     exact_hits = 0;
     megaflow_hits = 0;
     misses = 0;
@@ -182,7 +215,7 @@ let create ?config ~name ~policy () =
   }
 
 let config t = t.config
-let exact_count t = Fkey.Table.length t.exact
+let exact_count t = Fkey.Packed.Table.length t.exact
 let megaflow_count t = Lru.length t.mf_lru
 let is_empty t = exact_count t = 0 && megaflow_count t = 0
 let exact_hits t = t.exact_hits
@@ -191,7 +224,7 @@ let misses t = t.misses
 let invalidations t = t.invalidations
 let evictions t = t.evictions
 let revalidations t = t.revalidations
-let mem_exact t flow = Fkey.Table.mem t.exact flow
+let mem_exact t flow = Fkey.Packed.Table.mem t.exact (Fkey.Packed.of_fkey flow)
 
 (* --- trace emission --- *)
 
@@ -231,7 +264,7 @@ let emit_miss t ~now flow =
 (* --- removal primitives --- *)
 
 let remove_exact t e =
-  Fkey.Table.remove t.exact e.ex_flow;
+  Fkey.Packed.Table.remove t.exact e.ex_key;
   (match e.ex_node with
   | Some n ->
       Lru.unlink t.exact_lru n;
@@ -258,7 +291,7 @@ let flush t ~now ~reason =
   if dropped > 0 then begin
     gauge_add g_exact (-.float_of_int (exact_count t));
     gauge_add g_megaflow (-.float_of_int (megaflow_count t));
-    Fkey.Table.reset t.exact;
+    Fkey.Packed.Table.reset t.exact;
     Lru.clear t.exact_lru;
     t.mf_tables <- [];
     Lru.clear t.mf_lru;
@@ -281,18 +314,18 @@ let check_generation t ~now =
 (* --- insertion --- *)
 
 let evict_exact_to_capacity t =
-  while Fkey.Table.length t.exact >= t.config.exact_capacity do
+  while Fkey.Packed.Table.length t.exact >= t.config.exact_capacity do
     match Lru.back_value t.exact_lru with
     | Some victim ->
         remove_exact t victim;
         t.evictions <- t.evictions + 1;
         Obs.Metrics.incr m_evictions
-    | None -> Fkey.Table.reset t.exact (* unreachable: lru tracks table *)
+    | None -> Fkey.Packed.Table.reset t.exact (* unreachable: lru tracks table *)
   done
 
-let insert_exact t flow verdict ~now =
+let insert_exact t ~key flow verdict ~now =
   if t.config.exact_capacity > 0 then
-    match Fkey.Table.find_opt t.exact flow with
+    match Fkey.Packed.Table.find_opt t.exact key with
     | Some e ->
         e.ex_verdict <- verdict;
         e.ex_last_used <- now;
@@ -302,10 +335,16 @@ let insert_exact t flow verdict ~now =
     | None ->
         evict_exact_to_capacity t;
         let e =
-          { ex_flow = flow; ex_verdict = verdict; ex_last_used = now; ex_node = None }
+          {
+            ex_key = key;
+            ex_flow = flow;
+            ex_verdict = verdict;
+            ex_last_used = now;
+            ex_node = None;
+          }
         in
         e.ex_node <- Some (Lru.push_front t.exact_lru e);
-        Fkey.Table.replace t.exact flow e;
+        Fkey.Packed.Table.replace t.exact key e;
         gauge_add g_exact 1.0
 
 let evict_mf_to_capacity t =
@@ -353,52 +392,76 @@ let insert_megaflow t flow verdict mask ~now =
 
 (* --- the datapath API --- *)
 
-let lookup t flow ~now =
+(* The steady-state per-packet path. On a hit, every step is either an
+   int/pointer mutation or a guarded no-op: the packed-key probe
+   ([Packed.hash] reads a precomputed field, [Packed.equal] compares
+   three ints, and [Hashtbl.find] raising the preallocated [Not_found]
+   avoids the [Some] box of [find_opt]), the LRU touch is sentinel
+   pointer surgery, hit accounting bumps mutable ints, and the trace
+   guard is one load and branch when the sink is disabled. Measured at
+   zero minor words per op by [hotpath/cache-hit-exact] in
+   BENCH_hotpath.json; the @alloc-check alias enforces it. *)
+let find_exact t key ~now =
   check_generation t ~now;
-  match Fkey.Table.find_opt t.exact flow with
-  | Some e ->
-      e.ex_last_used <- now;
-      (match e.ex_node with Some n -> Lru.touch t.exact_lru n | None -> ());
-      t.exact_hits <- t.exact_hits + 1;
-      Obs.Metrics.incr m_exact_hits;
-      emit_hit t ~now flow Exact e.ex_verdict;
-      Some (e.ex_verdict, Exact)
-  | None -> (
-      let rec probe = function
-        | [] -> None
-        | (mask, tbl) :: rest -> (
-            match Pattern.Table.find_opt tbl (Mask.project mask flow) with
-            | Some e -> Some e
-            | None -> probe rest)
-      in
-      match probe t.mf_tables with
-      | Some e ->
-          e.mf_last_used <- now;
-          (match e.mf_node with Some n -> Lru.touch t.mf_lru n | None -> ());
-          t.megaflow_hits <- t.megaflow_hits + 1;
-          Obs.Metrics.incr m_megaflow_hits;
-          emit_hit t ~now flow Megaflow e.mf_verdict;
-          (* Promote into the exact tier so the flow's next packets take
-             the cheapest path (OVS's EMC insertion on megaflow hit). *)
-          insert_exact t flow e.mf_verdict ~now;
-          Some (e.mf_verdict, Megaflow)
-      | None ->
-          t.misses <- t.misses + 1;
-          Obs.Metrics.incr m_misses;
-          emit_miss t ~now flow;
-          None)
+  let e = Fkey.Packed.Table.find t.exact key in
+  e.ex_last_used <- now;
+  (match e.ex_node with Some n -> Lru.touch t.exact_lru n | None -> ());
+  t.exact_hits <- t.exact_hits + 1;
+  Obs.Metrics.incr m_exact_hits;
+  emit_hit t ~now e.ex_flow Exact e.ex_verdict;
+  e.ex_verdict
 
-let install t flow ~now =
+(* Wildcard-tier probe, taken only after an exact-tier miss. Counts the
+   megaflow hit or the overall miss; [Mask.project] allocates one
+   pattern per probed mask table, which is fine off the steady state. *)
+let lookup_wild t ~key flow ~now =
+  let rec probe = function
+    | [] -> None
+    | (mask, tbl) :: rest -> (
+        match Pattern.Table.find_opt tbl (Mask.project mask flow) with
+        | Some e -> Some e
+        | None -> probe rest)
+  in
+  match probe t.mf_tables with
+  | Some e ->
+      e.mf_last_used <- now;
+      (match e.mf_node with Some n -> Lru.touch t.mf_lru n | None -> ());
+      t.megaflow_hits <- t.megaflow_hits + 1;
+      Obs.Metrics.incr m_megaflow_hits;
+      emit_hit t ~now flow Megaflow e.mf_verdict;
+      (* Promote into the exact tier so the flow's next packets take
+         the cheapest path (OVS's EMC insertion on megaflow hit). *)
+      insert_exact t ~key flow e.mf_verdict ~now;
+      Some e.mf_verdict
+  | None ->
+      t.misses <- t.misses + 1;
+      Obs.Metrics.incr m_misses;
+      emit_miss t ~now flow;
+      None
+
+let lookup_keyed t ~key flow ~now =
+  match find_exact t key ~now with
+  | v -> Some (v, Exact)
+  | exception Not_found -> (
+      match lookup_wild t ~key flow ~now with
+      | Some v -> Some (v, Megaflow)
+      | None -> None)
+
+let lookup t flow ~now = lookup_keyed t ~key:(Fkey.Packed.of_fkey flow) flow ~now
+
+let install_keyed t ~key flow ~now =
   check_generation t ~now;
   let verdict, mask = Rules.Policy.classify_masked t.policy flow in
   insert_megaflow t flow verdict mask ~now;
-  insert_exact t flow verdict ~now;
+  insert_exact t ~key flow verdict ~now;
   verdict
+
+let install t flow ~now = install_keyed t ~key:(Fkey.Packed.of_fkey flow) flow ~now
 
 let invalidate_flow t flow ~now ~reason =
   check_generation t ~now;
   let dropped = ref 0 in
-  (match Fkey.Table.find_opt t.exact flow with
+  (match Fkey.Packed.Table.find_opt t.exact (Fkey.Packed.of_fkey flow) with
   | Some e ->
       remove_exact t e;
       incr dropped
@@ -435,7 +498,7 @@ let revalidate t ~now ~reason =
   Obs.Metrics.incr m_revalidations;
   let idle = ref 0 and stale = ref 0 in
   let expired_exact =
-    Fkey.Table.fold
+    Fkey.Packed.Table.fold
       (fun _ e acc -> if idle_expired t ~now e.ex_last_used then e :: acc else acc)
       t.exact []
   in

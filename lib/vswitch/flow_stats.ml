@@ -5,12 +5,15 @@ type t = counters Fkey.Table.t
 
 let create () : t = Fkey.Table.create 128
 
+(* [find]/[Not_found] instead of [find_opt]: the steady-state hit path
+   (counters already exist) must not allocate the [Some] box — this
+   runs once per packet group on the vhost path. *)
 let record t flow ~packets ~bytes =
-  match Fkey.Table.find_opt t flow with
-  | Some c ->
+  match Fkey.Table.find t flow with
+  | c ->
       c.packets <- c.packets + packets;
       c.bytes <- c.bytes + bytes
-  | None -> Fkey.Table.add t flow { packets; bytes }
+  | exception Not_found -> Fkey.Table.add t flow { packets; bytes }
 
 let find t flow = Fkey.Table.find_opt t flow
 let remove t flow = Fkey.Table.remove t flow

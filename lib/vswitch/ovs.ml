@@ -24,6 +24,83 @@ let m_kernel_hits = Obs.Metrics.counter "vswitch.kernel_hits"
 
 type direction = Tx | Rx
 
+(* Sentinel for pooled packet arrays; never processed. Built literally
+   rather than via [Packet.create] so module init does not consume a
+   packet uid (uids appear in traces). *)
+let dummy_flow =
+  Fkey.make
+    ~src_ip:(Netcore.Ipv4.of_int32 0l)
+    ~dst_ip:(Netcore.Ipv4.of_int32 0l)
+    ~src_port:0 ~dst_port:0 ~proto:Fkey.Tcp
+    ~tenant:(Netcore.Tenant.of_int 0)
+
+let dummy_key = Fkey.Packed.of_fkey dummy_flow
+
+let dummy_pkt =
+  {
+    Packet.flow = dummy_flow;
+    payload = 0;
+    l4 = Packet.Plain;
+    bulk = false;
+    encaps = [];
+    hops = 0;
+    sent_at = Simtime.zero;
+    uid = -1;
+  }
+
+(* One vhost batch: packets and directions in arrival order, plus the
+   per-batch flow groups (distinct flows, first-seen order) with their
+   packed keys. Batches are pooled per VIF and recycled once every
+   group's classification continuation has run, so steady-state
+   batching allocates no per-packet queue cells, tuples or group
+   lists — just array writes. *)
+type batch = {
+  mutable b_pkts : Packet.t array;
+  mutable b_dirs : direction array;
+  mutable b_grp : int array;  (* per item: index into the group arrays *)
+  mutable b_len : int;
+  mutable g_flows : Fkey.t array;
+  mutable g_keys : Fkey.Packed.t array;
+  mutable g_count : int;
+  mutable pending : int;  (* groups whose continuation has not run yet *)
+}
+
+let create_batch () =
+  {
+    b_pkts = Array.make 64 dummy_pkt;
+    b_dirs = Array.make 64 Tx;
+    b_grp = Array.make 64 (-1);
+    b_len = 0;
+    g_flows = Array.make 16 dummy_flow;
+    g_keys = Array.make 16 dummy_key;
+    g_count = 0;
+    pending = 0;
+  }
+
+let batch_push b pkt direction =
+  (if b.b_len = Array.length b.b_pkts then begin
+     let n = Array.length b.b_pkts in
+     b.b_pkts <- Array.append b.b_pkts (Array.make n dummy_pkt);
+     b.b_dirs <- Array.append b.b_dirs (Array.make n Tx);
+     b.b_grp <- Array.append b.b_grp (Array.make n (-1))
+   end);
+  b.b_pkts.(b.b_len) <- pkt;
+  b.b_dirs.(b.b_len) <- direction;
+  b.b_grp.(b.b_len) <- -1;
+  b.b_len <- b.b_len + 1
+
+let batch_push_group b flow key =
+  (if b.g_count = Array.length b.g_flows then begin
+     let n = Array.length b.g_flows in
+     b.g_flows <- Array.append b.g_flows (Array.make n dummy_flow);
+     b.g_keys <- Array.append b.g_keys (Array.make n dummy_key)
+   end);
+  let g = b.g_count in
+  b.g_flows.(g) <- flow;
+  b.g_keys.(g) <- key;
+  b.g_count <- g + 1;
+  g
+
 type vif = {
   engine : Engine.t;
   name : string;
@@ -33,7 +110,8 @@ type vif = {
   tx_shaper : Shaping.Shaper.t;
   rx_shaper : Shaping.Shaper.t;
   cache : Flow_cache.t;
-  batch : (Packet.t * direction) Queue.t;
+  mutable filling : batch;  (* accumulating until the next vhost wakeup *)
+  mutable free_batches : batch list;  (* recycled, fully-drained batches *)
   mutable wakeup_pending : bool;
 }
 
@@ -45,7 +123,14 @@ type t = {
   server_ip : Netcore.Ipv4.t;
   transmit : Packet.t -> unit;
   mutable vifs : vif list;
-  vif_by_vm : (int * int, vif) Hashtbl.t;  (* (tenant, ip) -> vif *)
+  (* tenant -> ip -> vif. Two int-keyed probes instead of one tuple
+     key: a (tenant, ip) tuple cannot pack into a single 63-bit int
+     (both are full 32-bit domains) and building the tuple per
+     delivered packet was hot-path garbage. *)
+  vif_by_vm : (int, (int, vif) Hashtbl.t) Hashtbl.t;
+  (* Scratch for batch grouping (flow -> group index); cleared and
+     refilled per batch, only ever used synchronously. *)
+  group_tbl : int Fkey.Table.t;
   stats : Flow_stats.t;
   blocked : unit Fkey.Table.t;
   mutable sweeper_active : bool;
@@ -70,6 +155,7 @@ let create ?cache_config ~engine ~config ~host_pool ~server_ip ~transmit () =
     transmit;
     vifs = [];
     vif_by_vm = Hashtbl.create 16;
+    group_tbl = Fkey.Table.create 64;
     stats = Flow_stats.create ();
     blocked = Fkey.Table.create 16;
     sweeper_active = false;
@@ -84,8 +170,24 @@ let create ?cache_config ~engine ~config ~host_pool ~server_ip ~transmit () =
 let config t = t.config
 let server_ip t = t.server_ip
 
-let vm_key ~tenant ~ip =
-  (Netcore.Tenant.to_int tenant, Int32.to_int (Netcore.Ipv4.to_int32 ip))
+let vm_register t ~tenant ~ip vif =
+  let tkey = Netcore.Tenant.to_int tenant in
+  let inner =
+    match Hashtbl.find_opt t.vif_by_vm tkey with
+    | Some inner -> inner
+    | None ->
+        let inner = Hashtbl.create 8 in
+        Hashtbl.replace t.vif_by_vm tkey inner;
+        inner
+  in
+  Hashtbl.replace inner ((ip : Netcore.Ipv4.t) :> int) vif
+
+(* Allocation-free per-packet VM lookup: two [Hashtbl.find]s on int
+   keys, raising [Not_found] past both tables. *)
+let vm_lookup t ~tenant ~ip =
+  Hashtbl.find
+    (Hashtbl.find t.vif_by_vm (Netcore.Tenant.to_int tenant))
+    ((ip : Netcore.Ipv4.t) :> int)
 
 let is_blocked t flow = Fkey.Table.mem t.blocked flow
 
@@ -130,15 +232,15 @@ let add_vif t ~policy ~deliver =
             | None -> assert false)
           ();
       cache = Flow_cache.create ~config:t.cache_config ~name ~policy ();
-      batch = Queue.create ();
+      filling = create_batch ();
+      free_batches = [];
       wakeup_pending = false;
     }
   in
   vif_ref := Some vif;
   t.vifs <- vif :: t.vifs;
-  Hashtbl.replace t.vif_by_vm
-    (vm_key ~tenant:(Rules.Policy.tenant policy) ~ip:(Rules.Policy.vm_ip policy))
-    vif;
+  vm_register t ~tenant:(Rules.Policy.tenant policy)
+    ~ip:(Rules.Policy.vm_ip policy) vif;
   vif
 
 let vif_policy vif = vif.policy
@@ -196,32 +298,42 @@ let maybe_start_sweeper t =
   end
 
 (* Classification against the two-tier datapath cache; a miss pays the
-   userspace upcall in CPU and latency, then installs both tiers. *)
-let classify t vif flow k =
-  match Flow_cache.lookup vif.cache flow ~now:(Engine.now t.engine) with
-  | Some (verdict, _tier) ->
+   userspace upcall in CPU and latency, then installs both tiers. The
+   steady-state exact-tier hit — [find_exact] plus the two counter
+   bumps — allocates nothing; [lookup_wild] and the upcall are the
+   (allowed-to-allocate) miss paths. *)
+let classify t vif ~key flow k =
+  match Flow_cache.find_exact vif.cache key ~now:(Engine.now t.engine) with
+  | verdict ->
       t.kernel_hits <- t.kernel_hits + 1;
       Obs.Metrics.incr m_kernel_hits;
       k verdict
-  | None ->
-      t.upcalls <- t.upcalls + 1;
-      Obs.Metrics.incr m_upcalls;
-      let scan_cost =
-        if t.config.Cost.security_rules then
-          Simtime.span_us
-            (upcall_per_rule_cost_us
-            *. float_of_int (Rules.Policy.acl_count vif.policy))
-        else Simtime.span_zero
-      in
-      let cost = Simtime.span_add upcall_fixed_cost scan_cost in
-      Compute.Cpu_pool.submit t.host_pool ~cost (fun () ->
-          ignore
-            (Engine.after t.engine upcall_extra_latency (fun () ->
-                 let verdict =
-                   Flow_cache.install vif.cache flow ~now:(Engine.now t.engine)
-                 in
-                 maybe_start_sweeper t;
-                 k verdict)))
+  | exception Not_found -> (
+      match Flow_cache.lookup_wild vif.cache ~key flow ~now:(Engine.now t.engine) with
+      | Some verdict ->
+          t.kernel_hits <- t.kernel_hits + 1;
+          Obs.Metrics.incr m_kernel_hits;
+          k verdict
+      | None ->
+          t.upcalls <- t.upcalls + 1;
+          Obs.Metrics.incr m_upcalls;
+          let scan_cost =
+            if t.config.Cost.security_rules then
+              Simtime.span_us
+                (upcall_per_rule_cost_us
+                *. float_of_int (Rules.Policy.acl_count vif.policy))
+            else Simtime.span_zero
+          in
+          let cost = Simtime.span_add upcall_fixed_cost scan_cost in
+          Compute.Cpu_pool.submit t.host_pool ~cost (fun () ->
+              ignore
+                (Engine.after t.engine upcall_extra_latency (fun () ->
+                     let verdict =
+                       Flow_cache.install_keyed vif.cache ~key flow
+                         ~now:(Engine.now t.engine)
+                     in
+                     maybe_start_sweeper t;
+                     k verdict))))
 
 let wire_frames payload =
   Stdlib.max 1
@@ -247,7 +359,7 @@ let softirq_cost_of config ~payload =
 
 (* Post-classification handling of one packet of an allowed/denied
    flow-group inside a vhost batch. *)
-let apply_verdict t vif config verdict (pkt, direction) =
+let apply_verdict t vif config verdict pkt direction =
   match verdict.Rules.Policy.action with
   | Rules.Security_rule.Deny ->
       t.security_drops <- t.security_drops + 1;
@@ -283,63 +395,90 @@ let apply_verdict t vif config verdict (pkt, direction) =
           Obs.Metrics.incr m_rx;
           Shaping.Shaper.enqueue vif.rx_shaper pkt)
 
-(* Group a drained batch by flow, preserving first-seen order of both
-   flows and packets within a flow. *)
-let group_by_flow items =
-  let tbl = Fkey.Table.create 8 in
-  let order = ref [] in
-  List.iter
-    (fun ((pkt, _) as item) ->
-      let flow = pkt.Packet.flow in
-      match Fkey.Table.find_opt tbl flow with
-      | Some r -> r := item :: !r
-      | None ->
-          let r = ref [ item ] in
-          Fkey.Table.replace tbl flow r;
-          order := (flow, r) :: !order)
-    items;
-  List.rev_map (fun (flow, r) -> (flow, List.rev !r)) !order
+(* A group's continuation has run: when the last one finishes, scrub
+   the packet references (so the pool does not retain them past the
+   batch) and recycle the batch onto the VIF's free list. *)
+let release_group vif batch =
+  batch.pending <- batch.pending - 1;
+  if batch.pending = 0 then begin
+    for i = 0 to batch.b_len - 1 do
+      batch.b_pkts.(i) <- dummy_pkt
+    done;
+    for g = 0 to batch.g_count - 1 do
+      batch.g_flows.(g) <- dummy_flow;
+      batch.g_keys.(g) <- dummy_key
+    done;
+    batch.b_len <- 0;
+    batch.g_count <- 0;
+    vif.free_batches <- batch :: vif.free_batches
+  end
 
 (* One classification per distinct flow in the batch; the blocked set
    is re-checked at service time so a block landing while the batch sat
-   in the queue still takes effect. *)
-let process_batch t vif config items =
-  List.iter
-    (fun (flow, group) ->
-      if is_blocked t flow then List.iter (fun (pkt, _) -> drop t pkt) group
-      else
-        classify t vif flow (fun verdict ->
-            List.iter (apply_verdict t vif config verdict) group))
-    (group_by_flow items)
+   in the queue still takes effect. Groups run in first-seen flow
+   order, packets within a group in arrival order — same as the old
+   list-based grouping, without materializing per-group lists. *)
+let process_batch t vif config batch =
+  batch.pending <- batch.g_count;
+  for g = 0 to batch.g_count - 1 do
+    let flow = batch.g_flows.(g) in
+    if is_blocked t flow then begin
+      for i = 0 to batch.b_len - 1 do
+        if batch.b_grp.(i) = g then drop t batch.b_pkts.(i)
+      done;
+      release_group vif batch
+    end
+    else
+      classify t vif ~key:batch.g_keys.(g) flow (fun verdict ->
+          for i = 0 to batch.b_len - 1 do
+            if batch.b_grp.(i) = g then
+              apply_verdict t vif config verdict batch.b_pkts.(i) batch.b_dirs.(i)
+          done;
+          release_group vif batch)
+  done
 
-(* The vhost wakeup drains whatever accumulated on the VIF's queue and
-   services it as one batch: serialized cost is the sum of the per-
-   packet vhost work plus one classification dispatch per distinct
-   flow ([Cost.classify_lookup_us]) — so a single-packet batch costs
-   exactly what the unbatched path used to. *)
+(* The vhost wakeup detaches the batch that accumulated on the VIF and
+   services it: serialized cost is the sum of the per-packet vhost work
+   plus one classification dispatch per distinct flow
+   ([Cost.classify_lookup_us]) — so a single-packet batch costs exactly
+   what the unbatched path used to. Grouping (first-seen flow order)
+   and the cost fold share one pass; the flow->group scratch table is
+   reused across batches, and each distinct flow packs its key once
+   here for every later exact-tier probe. *)
 let start_batch t vif () =
   vif.wakeup_pending <- false;
-  let items = List.of_seq (Queue.to_seq vif.batch) in
-  Queue.clear vif.batch;
-  if items <> [] then begin
+  let batch = vif.filling in
+  if batch.b_len > 0 then begin
+    (vif.filling <-
+       (match vif.free_batches with
+       | b :: rest ->
+           vif.free_batches <- rest;
+           b
+       | [] -> create_batch ()));
     let config = effective_config t vif in
-    let seen = Fkey.Table.create 8 in
-    List.iter
-      (fun (pkt, _) -> Fkey.Table.replace seen pkt.Packet.flow ())
-      items;
-    let distinct = Fkey.Table.length seen in
+    Fkey.Table.clear t.group_tbl;
+    let cost = ref Simtime.span_zero in
+    for i = 0 to batch.b_len - 1 do
+      let pkt = batch.b_pkts.(i) in
+      let flow = pkt.Packet.flow in
+      (match Fkey.Table.find t.group_tbl flow with
+      | g -> batch.b_grp.(i) <- g
+      | exception Not_found ->
+          let g = batch_push_group batch flow (Fkey.Packed.of_fkey flow) in
+          Fkey.Table.replace t.group_tbl flow g;
+          batch.b_grp.(i) <- g);
+      cost := Simtime.span_add !cost (vhost_cost config pkt)
+    done;
     let cost =
-      List.fold_left
-        (fun acc (pkt, _) -> Simtime.span_add acc (vhost_cost config pkt))
-        (Simtime.span_us (Cost.classify_lookup_us *. float_of_int distinct))
-        items
+      Simtime.span_add !cost
+        (Simtime.span_us (Cost.classify_lookup_us *. float_of_int batch.g_count))
     in
     Compute.Cpu_pool.submit vif.vhost ~cost (fun () ->
-        process_batch t vif config items)
+        process_batch t vif config batch)
   end
 
 let enqueue_vhost t vif pkt direction =
-  Queue.push (pkt, direction) vif.batch;
+  batch_push vif.filling pkt direction;
   if not vif.wakeup_pending then begin
     vif.wakeup_pending <- true;
     Compute.Cpu_pool.submit vif.vhost ~cost:Simtime.span_zero (start_batch t vif)
@@ -352,12 +491,9 @@ let transmit_from_vif t vif pkt =
 let receive_from_nic t pkt =
   let deliver_local inner_pkt =
     let flow = inner_pkt.Packet.flow in
-    match
-      Hashtbl.find_opt t.vif_by_vm
-        (vm_key ~tenant:flow.Fkey.tenant ~ip:flow.Fkey.dst_ip)
-    with
-    | None -> drop t inner_pkt
-    | Some vif ->
+    match vm_lookup t ~tenant:flow.Fkey.tenant ~ip:flow.Fkey.dst_ip with
+    | exception Not_found -> drop t inner_pkt
+    | vif ->
         let config = effective_config t vif in
         Compute.Cpu_pool.submit t.host_pool
           ~cost:(softirq_cost_of config ~payload:inner_pkt.Packet.payload)

@@ -288,6 +288,33 @@ let test_decide_group_all_or_none () =
   in
   checki "both taken" 2 (List.length d2.Fastrak.Decision_engine.offload)
 
+let test_decide_group_negative_scores () =
+  (* Regression: [build_units] used to fold group scores from 0.0, so a
+     group whose members all score below zero ranked at 0.0 — above any
+     hotter (less negative) singleton. With a budget that fits only one
+     unit, the pre-fix code offloads the cold group instead of the hot
+     singleton. *)
+  let g = Some 1 in
+  let candidates =
+    [
+      candidate ~score:(-10.0) ~entries:1 ~group:g ~port:1 ();
+      candidate ~score:(-20.0) ~entries:1 ~group:g ~port:2 ();
+      candidate ~score:(-5.0) ~entries:2 ~port:3 ();
+    ]
+  in
+  let d = decide ~min_score:(-100.0) ~tcam_free:2 candidates in
+  Alcotest.check (Alcotest.list Alcotest.int) "hot singleton outranks cold group"
+    [ 3 ]
+    (ports d.Fastrak.Decision_engine.offload);
+  (* The bug lived in [build_units], which the list baseline still
+     goes through — it must agree. *)
+  let b =
+    Fastrak.Decision_engine.decide_list_baseline ~candidates ~offloaded:[]
+      ~tcam_free:2 ~max_offloads:None ~min_score:(-100.0) ()
+  in
+  Alcotest.check (Alcotest.list Alcotest.int) "baseline agrees" [ 3 ]
+    (ports b.Fastrak.Decision_engine.offload)
+
 let test_decide_matches_list_baseline () =
   (* The hashtable rewrite must agree with the retained list-based
      implementation on randomized inputs: same offload/demote/keep
@@ -320,6 +347,61 @@ let test_decide_matches_list_baseline () =
     let min_score = Dcsim.Rng.float rng 500.0 in
     let fast =
       Fastrak.Decision_engine.decide ~candidates ~offloaded ~tcam_free
+        ~max_offloads ~min_score ()
+    in
+    let slow =
+      Fastrak.Decision_engine.decide_list_baseline ~candidates ~offloaded
+        ~tcam_free ~max_offloads ~min_score ()
+    in
+    let label what =
+      Printf.sprintf "trial %d (%d cands, %d offloaded): %s" trial n
+        (List.length offloaded) what
+    in
+    let check_same what a b =
+      Alcotest.check (Alcotest.list Alcotest.int) (label what) (ports a) (ports b)
+    in
+    check_same "offload" slow.Fastrak.Decision_engine.offload
+      fast.Fastrak.Decision_engine.offload;
+    check_same "demote" slow.Fastrak.Decision_engine.demote
+      fast.Fastrak.Decision_engine.demote;
+    check_same "keep" slow.Fastrak.Decision_engine.keep
+      fast.Fastrak.Decision_engine.keep
+  done
+
+let test_decide_scratch_reuse_matches_baseline () =
+  (* One scratch reused across every trial (the production pattern: a
+     ToR controller owns one for its lifetime): residue from call N
+     must not leak into call N+1, so each call must still agree with
+     the stateless list baseline. *)
+  let scratch = Fastrak.Decision_engine.create_scratch () in
+  let rng = Dcsim.Rng.create ~seed:20260808 in
+  for trial = 1 to 100 do
+    let n = 1 + Dcsim.Rng.int rng 60 in
+    let candidates =
+      List.init n (fun i ->
+          candidate
+            ~score:(Dcsim.Rng.float rng 1000.0)
+            ~entries:(1 + Dcsim.Rng.int rng 4)
+            ~group:
+              (if Dcsim.Rng.int rng 10 = 0 then Some (Dcsim.Rng.int rng 5)
+               else None)
+            ~port:i ())
+    in
+    let offloaded =
+      List.filter_map
+        (fun (c : Fastrak.Decision_engine.candidate) ->
+          if Dcsim.Rng.int rng 3 = 0 then
+            Some (c.Fastrak.Decision_engine.pattern, c)
+          else None)
+        candidates
+    in
+    let tcam_free = Dcsim.Rng.int rng 120 in
+    let max_offloads =
+      if Dcsim.Rng.bool rng then None else Some (Dcsim.Rng.int rng (n + 1))
+    in
+    let min_score = Dcsim.Rng.float rng 500.0 in
+    let fast =
+      Fastrak.Decision_engine.decide ~scratch ~candidates ~offloaded ~tcam_free
         ~max_offloads ~min_score ()
     in
     let slow =
@@ -661,7 +743,10 @@ let suite =
     t "decide keeps winners" test_decide_keeps_winners;
     t "decide demotes idle" test_decide_idle_offloaded_demoted;
     t "decide group all-or-none" test_decide_group_all_or_none;
+    t "decide group of negative scores" test_decide_group_negative_scores;
     t "decide matches list baseline" test_decide_matches_list_baseline;
+    t "decide with reused scratch matches baseline"
+      test_decide_scratch_reuse_matches_baseline;
     t "measurement engine pps" test_me_measures_pps;
     t "measurement engine idle flows" test_me_idle_flows_dropped_from_report;
     t "measurement engine counter reset" test_me_counter_reset_clamped;

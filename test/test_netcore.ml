@@ -94,6 +94,56 @@ let test_fkey_table () =
   checki "size" 2 (Fkey.Table.length t);
   checki "find" 1 (Option.get (Fkey.Table.find_opt t (flow ())))
 
+let test_proto_rank_distinct () =
+  (* Regression: the old rank encoding ([3 + n] for [Other n]) collided
+     with the named protocols for n <= 0 — [Other (-1)] compared equal
+     to [Icmp], [Other (-3)] to [Tcp] — merging distinct protocols in
+     pattern tables. Every pair drawn from the named protocols and a
+     band of [Other n] ids around zero must compare distinct. *)
+  let protos =
+    [ Fkey.Tcp; Fkey.Udp; Fkey.Icmp ]
+    @ List.map (fun n -> Fkey.Other n) [ -3; -2; -1; 0; 1; 2; 3; 255 ]
+  in
+  List.iteri
+    (fun i a ->
+      List.iteri
+        (fun j b ->
+          if i <> j then
+            checkb
+              (Format.asprintf "distinct %d vs %d" i j)
+              false
+              (Fkey.proto_compare a b = 0))
+        protos)
+    protos;
+  List.iter
+    (fun p -> checki "refl" 0 (Fkey.proto_compare p p))
+    protos
+
+(* --- Packed flow keys --- *)
+
+let test_packed_roundtrip_edges () =
+  let mk sport dport proto tid =
+    Fkey.make ~src_ip:(Ipv4.of_string "0.0.0.0")
+      ~dst_ip:(Ipv4.of_string "255.255.255.255") ~src_port:sport
+      ~dst_port:dport ~proto ~tenant:(Netcore.Tenant.of_int tid)
+  in
+  List.iter
+    (fun f ->
+      checkb "roundtrip" true
+        (Fkey.equal f (Fkey.Packed.to_fkey (Fkey.Packed.of_fkey f))))
+    [
+      mk 0 0 Fkey.Tcp 1;
+      mk 65535 65535 Fkey.Udp 1;
+      mk 0 65535 Fkey.Icmp 0xFFFFFFFF;
+      mk 65535 0 (Fkey.Other 0) 1;
+      mk 1 2 (Fkey.Other (-1)) 0xFFFFFFFF;
+      mk 3 4 (Fkey.Other 255) 42;
+    ];
+  (* Out-of-range ports are rejected rather than silently truncated. *)
+  Alcotest.check_raises "port too large"
+    (Invalid_argument "Fkey.Packed.of_fkey: src_port out of range") (fun () ->
+      ignore (Fkey.Packed.of_fkey (mk 65536 0 Fkey.Tcp 1)))
+
 (* --- Patterns --- *)
 
 let test_pattern_any_matches_all () =
@@ -225,6 +275,57 @@ let prop_hash_consistent =
           ~proto:f.Fkey.proto ~tenant:f.Fkey.tenant in
       Fkey.hash f = Fkey.hash copy)
 
+(* Full-domain flows for packed-key properties: ports hit 0/65535,
+   protocols include [Other n] (negative ids too), tenants span the
+   whole 32-bit GRE-key range. *)
+let gen_flow_packed =
+  QCheck2.Gen.(
+    let* a = int_range 0 255 and* b = int_range 0 255 in
+    let* sport = oneof [ int_range 0 65535; oneofl [ 0; 65535 ] ] in
+    let* dport = oneof [ int_range 0 65535; oneofl [ 0; 65535 ] ] in
+    let* proto =
+      oneof
+        [
+          oneofl [ Fkey.Tcp; Fkey.Udp; Fkey.Icmp ];
+          map (fun n -> Fkey.Other n) (int_range (-8) 300);
+        ]
+    in
+    let* tid = oneofl [ 0; 1; 7; 4094; 0xFFFF; 0xFFFFFFFF ] in
+    return
+      (Fkey.make
+         ~src_ip:(Ipv4.of_octets a 0 0 b)
+         ~dst_ip:(Ipv4.of_octets b 255 1 a)
+         ~src_port:sport ~dst_port:dport ~proto
+         ~tenant:(Netcore.Tenant.of_int tid)))
+
+let prop_packed_roundtrip =
+  QCheck2.Test.make ~name:"packed key roundtrips through of_fkey/to_fkey"
+    ~count:500 gen_flow_packed (fun f ->
+      Fkey.equal f (Fkey.Packed.to_fkey (Fkey.Packed.of_fkey f)))
+
+(* A tiny flow domain so randomly drawn pairs are frequently equal —
+   the property is vacuous if the two sides never collide. *)
+let gen_flow_small =
+  QCheck2.Gen.(
+    let* s = int_range 0 1 and* d = int_range 0 1 in
+    let* sport = int_range 0 1 and* dport = int_range 0 1 in
+    let* proto = oneofl [ Fkey.Tcp; Fkey.Other 0 ] in
+    return
+      (Fkey.make
+         ~src_ip:(Ipv4.of_octets 10 0 0 s)
+         ~dst_ip:(Ipv4.of_octets 10 0 0 d)
+         ~src_port:sport ~dst_port:dport ~proto ~tenant))
+
+let prop_packed_agrees_with_boxed =
+  QCheck2.Test.make ~name:"packed equal/hash agree with boxed keys" ~count:500
+    QCheck2.Gen.(pair gen_flow_small gen_flow_small)
+    (fun (a, b) ->
+      let pa = Fkey.Packed.of_fkey a and pb = Fkey.Packed.of_fkey b in
+      Fkey.Packed.equal pa pb = Fkey.equal a b
+      && (not (Fkey.equal a b)
+         || Fkey.Packed.hash pa = Fkey.Packed.hash pb
+            && Fkey.hash a = Fkey.hash b))
+
 let prop_ipv4_roundtrip =
   QCheck2.Test.make ~name:"ipv4 string roundtrip" ~count:300
     QCheck2.Gen.(quad (int_range 0 255) (int_range 0 255) (int_range 0 255)
@@ -247,6 +348,8 @@ let suite =
     t "fkey reverse" test_fkey_reverse;
     t "fkey compare total" test_fkey_compare_total;
     t "fkey table" test_fkey_table;
+    t "proto ranks pairwise distinct" test_proto_rank_distinct;
+    t "packed roundtrip at edges" test_packed_roundtrip_edges;
     t "pattern any" test_pattern_any_matches_all;
     t "pattern exact" test_pattern_exact;
     t "pattern aggregates" test_pattern_aggregates;
@@ -261,5 +364,7 @@ let suite =
     QCheck_alcotest.to_alcotest prop_exact_pattern_matches;
     QCheck_alcotest.to_alcotest prop_aggregate_covers_exact;
     QCheck_alcotest.to_alcotest prop_hash_consistent;
+    QCheck_alcotest.to_alcotest prop_packed_roundtrip;
+    QCheck_alcotest.to_alcotest prop_packed_agrees_with_boxed;
     QCheck_alcotest.to_alcotest prop_ipv4_roundtrip;
   ]
