@@ -36,9 +36,14 @@ let experiments =
     ( "dcscale",
       "Multi-rack sharded engine: cross-rack express lanes, inter-rack \
        VM migration, sharded vs single-engine; rack count from --racks" );
+    ( "fabric-chaos",
+      "Data-plane failure domains: express-lane outages, TCAM faults, \
+       controller crash/restart; schedule from --faults, rack count \
+       from --racks (default 4)" );
   ]
 
 let dcscale_racks = ref 16
+let fabric_chaos_racks = ref Experiments.Fabric_chaos.default_config.racks
 
 let run_one = function
   | "fig3" ->
@@ -82,6 +87,15 @@ let run_one = function
       Printf.printf "  lookahead window: %.1f us\n"
         sharded.Experiments.Dcscale.lookahead_us;
       Experiments.Dcscale.print_comparison ~sharded ~single
+  | "fabric-chaos" ->
+      let config =
+        {
+          Experiments.Fabric_chaos.default_config with
+          racks = !fabric_chaos_racks;
+        }
+      in
+      Experiments.Fabric_chaos.print
+        (Experiments.Fabric_chaos.run ~config ())
   | "ablation" ->
       Experiments.Ablation.print_scoring (Experiments.Ablation.run_scoring ());
       Experiments.Ablation.print_tcam
@@ -145,13 +159,15 @@ let run_cmd =
   let faults =
     Arg.(
       value
-      & opt string "lossy"
+      & opt (some string) None
       & info [ "faults" ] ~docv:"SCHEDULE"
           ~doc:
-            "Fault schedule for the $(b,chaos) experiment: a named profile \
-             ($(b,none), $(b,lossy), $(b,chaos), $(b,smoke)) or a spec like \
-             $(b,drop=0.05,dup=0.01,jitter_us=200,down=1.0:1.3). See \
-             docs/FAULTS.md.")
+            "Fault schedule for the $(b,chaos) and $(b,fabric-chaos) \
+             experiments: a named profile ($(b,none), $(b,lossy), \
+             $(b,chaos), $(b,smoke), $(b,fabric)) or a spec like \
+             $(b,drop=0.05,dup=0.01,jitter_us=200,down=1.0:1.3,\
+             tcam_fail=0.05,tcam_soft=0.02). Defaults: $(b,lossy) for \
+             chaos, $(b,fabric) for fabric-chaos. See docs/FAULTS.md.")
   in
   let metrics_out =
     Arg.(
@@ -190,10 +206,11 @@ let run_cmd =
   let racks =
     Arg.(
       value
-      & opt int 16
+      & opt (some int) None
       & info [ "racks" ] ~docv:"N"
           ~doc:
-            "Rack count for the $(b,dcscale) experiment (1-84). Each rack \
+            "Rack count for the $(b,dcscale) (1-84, default 16) and \
+             $(b,fabric-chaos) (2-84, default 4) experiments. Each rack \
              is a full testbed on its own engine shard; rack 1 degenerates \
              to the classic single-engine loop.")
   in
@@ -225,11 +242,14 @@ let run_cmd =
       const (fun scale trace faults metrics_out timeseries_out cache_capacity
                  racks monitors ids ->
           Experiments.Memcached_eval.requests_scale := scale;
-          if racks < 1 || racks > 84 then begin
-            Printf.eprintf "fastrak_sim: --racks must be in 1..84\n";
-            Stdlib.exit 1
-          end;
-          dcscale_racks := racks;
+          (match racks with
+          | None -> ()
+          | Some n when n < 1 || n > 84 ->
+              Printf.eprintf "fastrak_sim: --racks must be in 1..84\n";
+              Stdlib.exit 1
+          | Some n ->
+              dcscale_racks := n;
+              fabric_chaos_racks := n);
           (match cache_capacity with
           | None -> ()
           | Some n when n < 0 ->
@@ -242,11 +262,16 @@ let run_cmd =
                   Vswitch.Flow_cache.exact_capacity = n;
                   megaflow_capacity = Stdlib.max 16 (n / 4);
                 });
-          (match Faults.Schedule.profile faults with
-          | Ok _ -> Experiments.Chaos_eval.schedule_spec := faults
-          | Error msg ->
-              Printf.eprintf "fastrak_sim: --faults: %s\n" msg;
-              Stdlib.exit 1);
+          (match faults with
+          | None -> ()
+          | Some spec -> (
+              match Faults.Schedule.profile spec with
+              | Ok _ ->
+                  Experiments.Chaos_eval.schedule_spec := spec;
+                  Experiments.Fabric_chaos.schedule_spec := spec
+              | Error msg ->
+                  Printf.eprintf "fastrak_sim: --faults: %s\n" msg;
+                  Stdlib.exit 1));
           let open_out_or_die file =
             try open_out file
             with Sys_error msg ->
@@ -286,10 +311,14 @@ let run_cmd =
                (fun id ->
                  Experiments.Metric_snapshot.record ~id (fun () -> run_one id))
                ids
-           with Obs.Monitor.Strict_violation v ->
-             Printf.eprintf "fastrak_sim: monitor violation: %s\n"
-               (Obs.Monitor.violation_to_string v);
-             Stdlib.exit 3);
+           with
+          | Obs.Monitor.Strict_violation v ->
+              Printf.eprintf "fastrak_sim: monitor violation: %s\n"
+                (Obs.Monitor.violation_to_string v);
+              Stdlib.exit 3
+          | Invalid_argument msg ->
+              Printf.eprintf "fastrak_sim: %s\n" msg;
+              Stdlib.exit 1);
           (match trace_oc with
           | Some oc ->
               Obs.Trace.disable ();

@@ -13,6 +13,10 @@ type t = {
   directive_attempts : int;
   dead_peer_failures : int;
   migration_timeout : Simtime.span;
+  probe_interval : Simtime.span;
+  lane_down_misses : int;
+  lane_up_oks : int;
+  tcam_audit_interval : Simtime.span option;
 }
 
 let default =
@@ -29,6 +33,10 @@ let default =
     directive_attempts = 5;
     dead_peer_failures = 3;
     migration_timeout = Simtime.span_sec 30.0;
+    probe_interval = Simtime.span_ms 20.0;
+    lane_down_misses = 3;
+    lane_up_oks = 5;
+    tcam_audit_interval = None;
   }
 
 let fast = { default with epoch_period = Simtime.span_sec 0.5 }

@@ -35,13 +35,27 @@ type t = {
       (** How long a begun VM migration may stay unconfirmed before the
           rule manager aborts it and re-installs the returned rules at
           the source. *)
+  probe_interval : Dcsim.Simtime.span;
+      (** Period of BFD-style liveness probes over each registered
+          express lane. *)
+  lane_down_misses : int;
+      (** Consecutive probe intervals without a reply before a lane is
+          declared down and its offloaded flows demoted to software. *)
+  lane_up_oks : int;
+      (** Consecutive replying probe intervals before a down lane is
+          declared healthy again (hysteresis against flapping). *)
+  tcam_audit_interval : Dcsim.Simtime.span option;
+      (** Period of the anti-entropy audit sweep reconciling actual
+          TCAM contents against controller intent (reinstall missing
+          rules, remove orphans). [None] disables the audit. *)
 }
 
 val default : t
 (** t = 100 ms, T = 5 s, N = 2, M = 3, O = 50 Mb/s, 200 us channels,
     no offload cap, min_score 100; directive acks time out after 25 ms
     with 5 attempts, 3 consecutive failures declare a peer dead, and an
-    unconfirmed migration aborts after 30 s. *)
+    unconfirmed migration aborts after 30 s. Lane probes every 20 ms
+    with 3 misses down / 5 oks up; the TCAM audit is off. *)
 
 val fast : t
 (** The T = 0.5 s variant used in some experiments (§5.2). *)

@@ -13,6 +13,7 @@ type demand_report = { server : string; report : Measurement_engine.report }
 type uplink =
   | Report of demand_report
   | Ack of { server : string; seq : int }
+  | Resync of { server : string }
 
 type offloaded = {
   off_vm_ip : Netcore.Ipv4.t;
@@ -41,6 +42,7 @@ type t = {
   server : Host.Server.t;
   me : Measurement_engine.t;
   mutable uplink_sink : uplink -> unit;
+  mutable crashed : bool;
   mutable offloaded : offloaded list;
   profiles : (int, Demand_profile.t) Hashtbl.t;  (* vm ip -> profile *)
   rate_states : (int, vm_rate_state) Hashtbl.t;
@@ -90,6 +92,7 @@ let create ~engine ~config ~server =
       server;
       me;
       uplink_sink = ignore;
+      crashed = false;
       offloaded = [];
       profiles = Hashtbl.create 8;
       rate_states = Hashtbl.create 8;
@@ -307,6 +310,11 @@ let directive_pattern = function
   | Offload { pattern; _ } | Demote { pattern; _ } -> pattern
 
 let handle_sequenced t { seq; directive } =
+  (* A crashed controller process neither applies nor acks: the TOR
+     controller's retry loop (and eventually its dead-peer detector)
+     sees exactly what a real dead process would produce — silence. *)
+  if t.crashed then ()
+  else begin
   let pattern = directive_pattern directive in
   let last =
     Option.value (Fkey.Pattern.Table.find_opt t.applied_seq pattern) ~default:(-1)
@@ -319,6 +327,113 @@ let handle_sequenced t { seq; directive } =
      only needs to learn the directive arrived, and a lost earlier ack
      must not wedge its retry loop. *)
   t.uplink_sink (Ack { server = server_name t; seq })
+  end
+
+(* --- Crash and recovery ---
+
+   A crash kills the controller PROCESS, not the dataplane: placer
+   rules, blocked flows and FPS limits live in the kernel/NIC and keep
+   steering packets while the process is down. Restart therefore means
+   reconciling a (possibly stale) persisted snapshot of intent against
+   whatever the dataplane actually holds, then asking the TOR
+   controller for the authoritative picture with a [Resync]. *)
+
+type snapshot = (Netcore.Ipv4.t * Fkey.Pattern.t) list
+
+let snapshot t = List.map (fun o -> (o.off_vm_ip, o.off_pattern)) t.offloaded
+
+let crashed t = t.crashed
+
+let crash t =
+  if not t.crashed then begin
+    t.crashed <- true;
+    Measurement_engine.stop t.me;
+    (* All soft state dies with the process. *)
+    t.offloaded <- [];
+    Fkey.Pattern.Table.reset t.applied_seq;
+    Hashtbl.reset t.profiles;
+    Hashtbl.reset t.rate_states
+  end
+
+let restart t ~snapshot:snap =
+  if t.crashed then begin
+    t.crashed <- false;
+    (* Re-adopt every snapshot entry whose Vf placer rule survived in
+       the dataplane; entries whose rule is gone are simply dropped
+       (the flow is already on the always-correct software path). *)
+    List.iter
+      (fun (vm_ip, pattern) ->
+        match Host.Server.find_attached t.server ~vm_ip with
+        | None -> ()
+        | Some a -> (
+            match
+              List.find_opt
+                (fun (_, p, path) ->
+                  path = Host.Bonding.Vf && pattern_equal p pattern)
+                (Host.Bonding.rules a.bonding)
+            with
+            | Some (id, _, _) ->
+                if
+                  not
+                    (List.exists
+                       (fun o ->
+                         pattern_equal o.off_pattern pattern
+                         && Netcore.Ipv4.equal o.off_vm_ip vm_ip)
+                       t.offloaded)
+                then
+                  t.offloaded <-
+                    {
+                      off_vm_ip = vm_ip;
+                      off_pattern = pattern;
+                      placer_rule = id;
+                      blocked_flows = [];
+                    }
+                    :: t.offloaded
+            | None -> ()))
+      snap;
+    (* Orphan Vf rules: dataplane redirects no adopted entry vouches
+       for (offloads applied after the snapshot was taken, or whose VM
+       moved away). The hardware rules backing them can no longer be
+       trusted, so send those aggregates back to software. *)
+    List.iter
+      (fun (a : Host.Server.attached) ->
+        let vm_ip = Host.Vm.ip a.vm in
+        List.iter
+          (fun (id, _, path) ->
+            if
+              path = Host.Bonding.Vf
+              && not
+                   (List.exists
+                      (fun o ->
+                        Netcore.Ipv4.equal o.off_vm_ip vm_ip
+                        && o.placer_rule = id)
+                      t.offloaded)
+            then ignore (Host.Bonding.remove_rule a.bonding id))
+          (Host.Bonding.rules a.bonding))
+      (Host.Server.vms t.server);
+    (* Blocked flows: a block whose offload no longer exists would
+       blackhole the software path forever — lift it. Blocks still
+       covered by an adopted offload are re-attached to it so the
+       eventual demote unblocks them as usual. *)
+    let ovs = Host.Server.ovs t.server in
+    List.iter
+      (fun flow ->
+        match
+          List.find_opt
+            (fun o -> Fkey.Pattern.matches o.off_pattern flow)
+            t.offloaded
+        with
+        | Some o ->
+            if not (List.exists (Fkey.equal flow) o.blocked_flows) then
+              o.blocked_flows <- flow :: o.blocked_flows
+        | None -> Vswitch.Ovs.set_flow_blocked ovs flow false)
+      (Vswitch.Ovs.blocked_flows ovs);
+    Measurement_engine.start t.me;
+    (* Announce the restart: the TOR controller answers by re-sending
+       its full offload intent for this server with fresh sequence
+       numbers (our applied_seq table died with the process). *)
+    t.uplink_sink (Resync { server = server_name t })
+  end
 
 let offloaded_patterns t = List.map (fun o -> o.off_pattern) t.offloaded
 

@@ -28,10 +28,12 @@ type demand_report = {
     server's name so the TOR controller can attribute them. *)
 
 (** Everything a local controller sends up to the TOR controller on the
-    report channel: periodic demand reports and directive acks. *)
+    report channel: periodic demand reports, directive acks, and the
+    restart announcement that asks for a full intent resync. *)
 type uplink =
   | Report of demand_report
   | Ack of { server : string; seq : int }
+  | Resync of { server : string }
 
 type t
 
@@ -95,3 +97,35 @@ val revalidate_vm_cache : t -> vm_ip:Netcore.Ipv4.t -> reason:string -> unit
 val measurement_engine : t -> Measurement_engine.t
 (** The controller's own measurement engine (for inspection in tests
     and experiments). *)
+
+(** {2 Crash and recovery}
+
+    A crash kills the controller process only. Dataplane state — flow
+    placer rules, blocked flows, FPS rate limits — lives in the
+    kernel/NIC and keeps working while the process is down; directives
+    arriving meanwhile are silently dropped (no acks), so the TOR
+    controller's retry/dead-peer machinery reacts exactly as it would
+    to a real dead process. *)
+
+type snapshot
+(** A persisted checkpoint of the controller's offload intent, as
+    written to stable storage before the crash. May be stale relative
+    to the dataplane. *)
+
+val snapshot : t -> snapshot
+(** Checkpoint the current intent (the set of applied offloads). *)
+
+val crash : t -> unit
+(** Kill the process: stop the measurement engine and discard all soft
+    state. Idempotent. *)
+
+val crashed : t -> bool
+
+val restart : t -> snapshot:snapshot -> unit
+(** Bring the process back from [snapshot]: re-adopt snapshot entries
+    whose placer rule survived in the dataplane, remove orphan VF
+    redirect rules the snapshot does not vouch for, unblock flows whose
+    offload no longer exists (a stale block would blackhole the
+    software path), restart measurement, and send [Resync] on the
+    uplink so the TOR controller re-pushes its authoritative intent.
+    No-op unless crashed. *)

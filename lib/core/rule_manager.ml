@@ -38,17 +38,44 @@ let create ~engine ~config ~tor ~servers ?tenant_priority ?group_of ?faults () =
   in
   (* Each control channel gets its own injector on a decorrelated RNG
      stream, so one channel's draws never perturb another's. A [None]
-     or all-zero schedule builds no injector at all: the channels take
-     the historical reliable path and the run is byte-identical to one
-     without the fault machinery. *)
+     or channel-fault-free schedule builds no injector at all: the
+     channels take the historical reliable path and the run is
+     byte-identical to one without the fault machinery. *)
   let injector label =
     match faults with
-    | Some sched when not (Faults.Schedule.is_none sched) ->
+    | Some sched when Faults.Schedule.has_channel_faults sched ->
         Some
           (Faults.Injector.create ~schedule:sched
              ~rng:(Dcsim.Rng.split (Engine.rng engine) ("faults." ^ label)))
     | _ -> None
   in
+  (* TCAM failure modes ride the same schedule: a probabilistic
+     install-failure hook on every tenant VRF, and a periodic sweep
+     that soft-errors (silently evicts) installed entries. Each draws
+     from its own decorrelated stream; an unarmed schedule touches
+     nothing. *)
+  (match faults with
+  | Some sched when Faults.Schedule.has_tcam_faults sched ->
+      let fail_p = sched.Faults.Schedule.tcam_install_fail in
+      if fail_p > 0.0 then begin
+        let rng = Dcsim.Rng.split (Engine.rng engine) "faults.tcam.install" in
+        Tor.Tor_switch.set_install_fault tor
+          (Some (fun () -> Dcsim.Rng.float rng 1.0 < fail_p))
+      end;
+      let soft_p = sched.Faults.Schedule.tcam_soft_error in
+      if soft_p > 0.0 then begin
+        let rng = Dcsim.Rng.split (Engine.rng engine) "faults.tcam.soft" in
+        let period = Dcsim.Simtime.span_ms 100.0 in
+        Engine.every engine
+          ~start:(Dcsim.Simtime.add (Engine.now engine) period)
+          period
+          (fun () ->
+            Tor.Tor_switch.iter_vrfs tor (fun vrf ->
+                if Dcsim.Rng.float rng 1.0 < soft_p then
+                  ignore (Tor.Vrf.evict_random vrf ~rng));
+            `Continue)
+      end
+  | _ -> ());
   let locals =
     List.map
       (fun server ->

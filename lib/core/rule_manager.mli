@@ -25,13 +25,19 @@ val create :
     per-tenant weight c in S = n x m_pps x c; [group_of] assigns
     patterns to all-or-none offload groups.
 
-    [faults], when given and not {!Faults.Schedule.is_none}, puts every
-    control channel in unreliable mode with its own decorrelated RNG
-    stream (split from the engine's RNG). The sequence-numbered
-    ack/retry protocol between the controllers then keeps the TOR-side
-    and server-side rule views convergent despite drops, duplicates and
-    reordering. Omitted or all-zero, the channels are reliable and the
-    run is byte-identical to a fault-free build. *)
+    [faults], when its channel dimensions are armed
+    ({!Faults.Schedule.has_channel_faults}), puts every control channel
+    in unreliable mode with its own decorrelated RNG stream (split from
+    the engine's RNG). The sequence-numbered ack/retry protocol between
+    the controllers then keeps the TOR-side and server-side rule views
+    convergent despite drops, duplicates and reordering. When its TCAM
+    dimensions are armed ({!Faults.Schedule.has_tcam_faults}), VRF
+    installs fail with probability [tcam_install_fail] and a 100 ms
+    sweep soft-errors (silently evicts) each tenant's installed entries
+    with probability [tcam_soft_error] — divergence only the
+    anti-entropy audit ({!Config.t.tcam_audit_interval}) can repair.
+    Omitted or all-zero, everything is reliable and the run is
+    byte-identical to a fault-free build. *)
 
 val start : t -> unit
 (** Start every local controller and the TOR decision loop. *)

@@ -9,7 +9,10 @@ type offload_state = {
   os_tenant : Netcore.Tenant.id;
   os_vm_ip : Netcore.Ipv4.t;
   os_server : string;
-  os_handle : Tor.Vrf.handle;
+  (* Mutable because the anti-entropy audit reinstalls entries lost to
+     TCAM soft errors under a fresh handle. *)
+  mutable os_handle : Tor.Vrf.handle;
+  os_compiled : Rules.Rule_compiler.compiled;
   os_entries : int;
   os_created : Simtime.t;  (* VRF install instant; install latency base *)
   mutable os_score : float;
@@ -53,6 +56,34 @@ type peer = {
   mutable unreconciled : unreconciled list;
 }
 
+type returned_rule = {
+  rr_pattern : Fkey.Pattern.t;
+  rr_tenant : Netcore.Tenant.id;
+  rr_vm_ip : Netcore.Ipv4.t;
+  rr_server : string;
+  rr_score : float;
+}
+
+(* One express lane towards a peer ToR, kept honest by BFD-style
+   probes that ride the same GRE path as offloaded traffic. Hysteresis
+   on both edges: [lane_down_misses] silent probe intervals declare it
+   down, [lane_up_oks] replying intervals declare it healthy — so a
+   single lost or healed probe never flaps the lane. *)
+type lane = {
+  lane_name : string;
+  lane_remote : Netcore.Ipv4.t;
+  lane_covers : Netcore.Ipv4.t -> bool;
+      (* Which destination VM addresses ride this lane. *)
+  mutable lane_seq : int;
+  mutable lane_replies : int;  (* replies since the last probe tick *)
+  mutable lane_miss_streak : int;
+  mutable lane_ok_streak : int;
+  mutable lane_up : bool;
+  mutable lane_down_since : Simtime.t option;
+  (* Aggregates demoted by this lane's failure, re-promoted on heal. *)
+  mutable lane_stash : returned_rule list;
+}
+
 let m_promotions = Obs.Metrics.counter "fastrak.promotions"
 let m_demotions = Obs.Metrics.counter "fastrak.demotions"
 let m_retries = Obs.Metrics.counter "fastrak.directive_retries"
@@ -60,6 +91,19 @@ let m_failures = Obs.Metrics.counter "fastrak.directive_failures"
 let m_peer_deaths = Obs.Metrics.counter "fastrak.peer_deaths"
 let m_offloaded_current = Obs.Metrics.gauge "fastrak.offloaded_current"
 let m_offload_score = Obs.Metrics.summary "fastrak.offload.score"
+
+(* Failure-domain accounting: lane state transitions, the flows they
+   demote/re-promote, recovery latency (down -> healthy, seconds), and
+   the crash-recovery / anti-entropy repair machinery. *)
+let m_lane_down = Obs.Metrics.counter "fastrak.failover.lane_down"
+let m_lane_up = Obs.Metrics.counter "fastrak.failover.lane_up"
+let m_failover_demotions = Obs.Metrics.counter "fastrak.failover.demotions"
+let m_failover_repromotions = Obs.Metrics.counter "fastrak.failover.repromotions"
+let m_recovery_time = Obs.Metrics.summary "fastrak.recovery_time"
+let m_resyncs = Obs.Metrics.counter "fastrak.recovery.resyncs"
+let m_audit_sweeps = Obs.Metrics.counter "fastrak.audit.sweeps"
+let m_audit_reinstalls = Obs.Metrics.counter "fastrak.audit.reinstalls"
+let m_audit_orphans = Obs.Metrics.counter "fastrak.audit.orphans_removed"
 
 (* Timeseries the decision loop feeds when [--timeseries-out] is on
    (Obs.Timeseries.enabled guards every site). *)
@@ -90,6 +134,15 @@ type t = {
   mutable latest_tor_report : Measurement_engine.report option;
   mutable offloaded : offload_state list;
   destinations : (Fkey.Pattern.t, Netcore.Ipv4.t list) Hashtbl.t;
+  mutable lanes : lane list;
+  mutable probing : bool;
+  (* TCAM handles THIS controller installed, keyed (tenant, handle).
+     The anti-entropy audit only ever touches managed handles, so
+     statically pinned experiment entries are never swept. *)
+  managed : (int * Tor.Vrf.handle, unit) Hashtbl.t;
+  (* Managed handles whose removal is scheduled (demote grace window):
+     live in hardware, absent from intent, but not orphans. *)
+  pending_removal : (int * Tor.Vrf.handle, unit) Hashtbl.t;
   mutable decisions : int;
   mutable running : bool;
   (* Last (instant, vswitch tx, VF tx) sample for per-path pps deltas. *)
@@ -140,6 +193,10 @@ let create ~engine ~config ~tor ~lookup_vm ?(tenant_priority = fun _ -> 1.0)
       latest_tor_report = None;
       offloaded = [];
       destinations = Hashtbl.create 32;
+      lanes = [];
+      probing = false;
+      managed = Hashtbl.create 32;
+      pending_removal = Hashtbl.create 8;
       decisions = 0;
       running = false;
       ts_prev = None;
@@ -391,11 +448,18 @@ and apply_demote t os ~reason =
      grace period, so removal fires at exactly the grace instant — the
      same schedule as a build without the ack protocol. *)
   let vrf = Tor.Tor_switch.vrf t.tor os.os_tenant in
+  (* Pin the handle now: the audit may re-handle [os] later, and the
+     delayed removal must free exactly the entries installed here. *)
+  let handle = os.os_handle in
+  let mkey = (Netcore.Tenant.to_int os.os_tenant, handle) in
+  Hashtbl.replace t.pending_removal mkey ();
   let grace_passed = ref false and resolved = ref false and removed = ref false in
   let try_remove () =
     if !grace_passed && !resolved && not !removed then begin
       removed := true;
-      Tor.Vrf.remove vrf os.os_handle
+      Hashtbl.remove t.pending_removal mkey;
+      Hashtbl.remove t.managed mkey;
+      Tor.Vrf.remove vrf handle
     end
   in
   (match peer_of t os.os_server with
@@ -411,7 +475,24 @@ and apply_demote t os ~reason =
          grace_passed := true;
          try_remove ()))
 
+(* Anti-flap: while a lane is down, candidates whose destinations ride
+   it stay in software — re-promotion happens only once the lane has
+   been continuously healthy for [lane_up_oks] probe intervals. *)
+let covered_by_down_lane t pattern =
+  match t.lanes with
+  | [] -> false
+  | lanes ->
+      let dests =
+        Option.value (Hashtbl.find_opt t.destinations pattern) ~default:[]
+      in
+      List.exists
+        (fun lane ->
+          (not lane.lane_up) && List.exists lane.lane_covers dests)
+        lanes
+
 let apply_offload t (c : Decision_engine.candidate) ~server =
+  if covered_by_down_lane t c.Decision_engine.pattern then ()
+  else
   match t.lookup_vm ~tenant:c.Decision_engine.tenant ~vm_ip:c.vm_ip with
   | None -> ()
   | Some (_, attached) -> (
@@ -426,7 +507,7 @@ let apply_offload t (c : Decision_engine.candidate) ~server =
       | Ok compiled -> (
           let vrf = Tor.Tor_switch.vrf t.tor c.tenant in
           match Tor.Vrf.install vrf compiled with
-          | Error `Tcam_full -> ()
+          | Error (`Tcam_full | `Install_fault) -> ()
           | Ok handle -> (
               let state =
                 {
@@ -435,6 +516,7 @@ let apply_offload t (c : Decision_engine.candidate) ~server =
                   os_vm_ip = c.vm_ip;
                   os_server = server;
                   os_handle = handle;
+                  os_compiled = compiled;
                   os_entries = compiled.Rules.Rule_compiler.tcam_entries;
                   os_created = Engine.now t.engine;
                   os_score = c.score;
@@ -446,6 +528,9 @@ let apply_offload t (c : Decision_engine.candidate) ~server =
               match peer_of t server with
               | None -> Tor.Vrf.remove vrf handle
               | Some peer ->
+                  Hashtbl.replace t.managed
+                    (Netcore.Tenant.to_int c.tenant, handle)
+                    ();
                   t.offloaded <- state :: t.offloaded;
                   Obs.Metrics.incr m_promotions;
                   Obs.Metrics.set_gauge m_offloaded_current
@@ -546,6 +631,82 @@ let handle_ack t ~server ~seq =
             List.filter (fun u -> u.u_seq <> seq) peer.unreconciled);
       note_contact t peer
 
+(* A restarted local controller announces itself with empty soft state
+   (its applied-seq table died with the process). Answer with the full
+   offload intent for that server under fresh sequence numbers; every
+   directive is idempotent on the receiving side, so re-pushing intent
+   the dataplane already holds is harmless. *)
+let handle_resync t ~server =
+  match peer_of t server with
+  | None -> ()
+  | Some peer ->
+      Obs.Metrics.incr m_resyncs;
+      note_contact t peer;
+      List.iter
+        (fun os ->
+          if String.equal os.os_server server then
+            send_directive t peer
+              (Local_controller.Offload
+                 { vm_ip = os.os_vm_ip; pattern = os.os_pattern })
+              ~on_result:(function
+                | `Acked -> ()
+                | `Failed ->
+                    if List.memq os t.offloaded then
+                      apply_demote t os ~reason:"resync_failed"))
+        t.offloaded
+
+(* Anti-entropy audit: reconcile actual TCAM contents against intent.
+   Entries lost to soft errors are reinstalled (or, if the TCAM cannot
+   take them back, the aggregate is demoted — software is slow but
+   never wrong); live managed handles nothing vouches for are removed.
+   Unmanaged handles (static experiment pins) are out of scope. *)
+let audit_tcam t =
+  Obs.Metrics.incr m_audit_sweeps;
+  (* Pass 1: heal intent whose hardware entries vanished. Iterates the
+     list value captured here; a failed repair demotes, which only
+     reassigns [t.offloaded]. *)
+  List.iter
+    (fun os ->
+      if List.memq os t.offloaded then begin
+        let vrf = Tor.Tor_switch.vrf t.tor os.os_tenant in
+        if not (Tor.Vrf.is_live vrf os.os_handle) then begin
+          Hashtbl.remove t.managed
+            (Netcore.Tenant.to_int os.os_tenant, os.os_handle);
+          match Tor.Vrf.install vrf os.os_compiled with
+          | Ok handle ->
+              os.os_handle <- handle;
+              Hashtbl.replace t.managed
+                (Netcore.Tenant.to_int os.os_tenant, handle)
+                ();
+              Obs.Metrics.incr m_audit_reinstalls
+          | Error (`Tcam_full | `Install_fault) ->
+              apply_demote t os ~reason:"audit_unrepaired"
+        end
+      end)
+    t.offloaded;
+  (* Pass 2: remove orphans — managed live handles neither backed by
+     intent nor awaiting a scheduled grace removal. *)
+  Tor.Tor_switch.iter_vrfs t.tor (fun vrf ->
+      let tenant = Netcore.Tenant.to_int (Tor.Vrf.tenant vrf) in
+      List.iter
+        (fun handle ->
+          let key = (tenant, handle) in
+          if
+            Hashtbl.mem t.managed key
+            && (not (Hashtbl.mem t.pending_removal key))
+            && not
+                 (List.exists
+                    (fun os ->
+                      Netcore.Tenant.to_int os.os_tenant = tenant
+                      && os.os_handle = handle)
+                    t.offloaded)
+          then begin
+            Hashtbl.remove t.managed key;
+            Tor.Vrf.remove vrf handle;
+            Obs.Metrics.incr m_audit_orphans
+          end)
+        (Tor.Vrf.live_handles vrf))
+
 let receive_uplink t = function
   | Local_controller.Report (r : Local_controller.demand_report) ->
       Hashtbl.replace t.latest_reports r.Local_controller.server r.report;
@@ -553,6 +714,7 @@ let receive_uplink t = function
       | Some peer -> note_contact t peer
       | None -> ())
   | Local_controller.Ack { server; seq } -> handle_ack t ~server ~seq
+  | Local_controller.Resync { server } -> handle_resync t ~server
 
 (* One timeseries sample per control interval: TCAM occupancy and
    per-path pps (counter deltas over the elapsed sim time), then a tick
@@ -643,11 +805,24 @@ let start t =
           run_decision t;
           `Continue
         end
-        else `Stop)
+        else `Stop);
+    match t.config.Config.tcam_audit_interval with
+    | None -> ()
+    | Some audit_interval ->
+        Engine.every t.engine
+          ~start:(Simtime.add (Engine.now t.engine) audit_interval)
+          audit_interval
+          (fun () ->
+            if t.running then begin
+              audit_tcam t;
+              `Continue
+            end
+            else `Stop)
   end
 
 let stop t =
   t.running <- false;
+  t.probing <- false;
   Measurement_engine.stop t.tor_me
 
 let offloaded_count t = List.length t.offloaded
@@ -667,29 +842,21 @@ let unacked_directives t =
       acc + Hashtbl.length peer.p_pending + List.length peer.unreconciled)
     0 t.locals
 
-type returned_rule = {
-  rr_pattern : Fkey.Pattern.t;
-  rr_tenant : Netcore.Tenant.id;
-  rr_vm_ip : Netcore.Ipv4.t;
-  rr_server : string;
-  rr_score : float;
-}
+let returned_of os =
+  {
+    rr_pattern = os.os_pattern;
+    rr_tenant = os.os_tenant;
+    rr_vm_ip = os.os_vm_ip;
+    rr_server = os.os_server;
+    rr_score = os.os_score;
+  }
 
 let demote_all_for_vm t ~vm_ip =
   let mine, _rest =
     List.partition (fun os -> Netcore.Ipv4.equal os.os_vm_ip vm_ip) t.offloaded
   in
   List.iter (fun os -> apply_demote t os ~reason:"vm_migration") mine;
-  List.map
-    (fun os ->
-      {
-        rr_pattern = os.os_pattern;
-        rr_tenant = os.os_tenant;
-        rr_vm_ip = os.os_vm_ip;
-        rr_server = os.os_server;
-        rr_score = os.os_score;
-      })
-    mine
+  List.map returned_of mine
 
 let reinstall t rules =
   List.iter
@@ -713,3 +880,121 @@ let reinstall t rules =
           }
           ~server:rr.rr_server)
     rules
+
+(* --- Express-lane liveness and failover --- *)
+
+let lane_covers_os t lane os =
+  let dests =
+    Option.value (Hashtbl.find_opt t.destinations os.os_pattern) ~default:[]
+  in
+  List.exists lane.lane_covers dests
+
+let lane_fail t lane =
+  lane.lane_up <- false;
+  lane.lane_ok_streak <- 0;
+  let now = Engine.now t.engine in
+  lane.lane_down_since <- Some now;
+  Obs.Metrics.incr m_lane_down;
+  if Obs.Trace.enabled () then
+    Obs.Trace.emit ~now (Obs.Trace.Lane_state { lane = lane.lane_name; up = false });
+  (* Failover: everything riding the lane goes back to the software
+     path, which takes the default (VXLAN) uplink instead. Stash the
+     demoted aggregates so heal can re-promote exactly them. *)
+  let covered = List.filter (fun os -> lane_covers_os t lane os) t.offloaded in
+  lane.lane_stash <- List.map returned_of covered @ lane.lane_stash;
+  List.iter
+    (fun os ->
+      Obs.Metrics.incr m_failover_demotions;
+      apply_demote t os ~reason:"lane_down")
+    covered
+
+let lane_heal t lane =
+  lane.lane_up <- true;
+  lane.lane_miss_streak <- 0;
+  let now = Engine.now t.engine in
+  Obs.Metrics.incr m_lane_up;
+  (match lane.lane_down_since with
+  | Some since ->
+      Obs.Metrics.observe m_recovery_time
+        (Simtime.span_to_sec (Simtime.diff now since))
+  | None -> ());
+  lane.lane_down_since <- None;
+  if Obs.Trace.enabled () then
+    Obs.Trace.emit ~now (Obs.Trace.Lane_state { lane = lane.lane_name; up = true });
+  let stash = lane.lane_stash in
+  lane.lane_stash <- [];
+  List.iter (fun _ -> Obs.Metrics.incr m_failover_repromotions) stash;
+  reinstall t stash
+
+let probe_tick t =
+  List.iter
+    (fun lane ->
+      (* Judge the interval that just closed — except before the first
+         probe has even been sent. *)
+      if lane.lane_seq > 0 then begin
+        if lane.lane_replies > 0 then begin
+          lane.lane_miss_streak <- 0;
+          lane.lane_ok_streak <- lane.lane_ok_streak + 1;
+          if
+            (not lane.lane_up)
+            && lane.lane_ok_streak >= t.config.Config.lane_up_oks
+          then lane_heal t lane
+        end
+        else begin
+          lane.lane_ok_streak <- 0;
+          lane.lane_miss_streak <- lane.lane_miss_streak + 1;
+          if
+            lane.lane_up
+            && lane.lane_miss_streak >= t.config.Config.lane_down_misses
+          then lane_fail t lane
+        end;
+        lane.lane_replies <- 0
+      end;
+      lane.lane_seq <- lane.lane_seq + 1;
+      Tor.Tor_switch.send_lane_probe t.tor ~dst_tor_ip:lane.lane_remote
+        ~seq:lane.lane_seq)
+    t.lanes
+
+let add_lane t ~name ~remote_tor ~covers =
+  (match t.lanes with
+  | [] ->
+      Tor.Tor_switch.set_probe_sink t.tor (fun ~remote_tor ~seq:_ ->
+          match
+            List.find_opt
+              (fun l -> Netcore.Ipv4.equal l.lane_remote remote_tor)
+              t.lanes
+          with
+          | Some l -> l.lane_replies <- l.lane_replies + 1
+          | None -> ())
+  | _ :: _ -> ());
+  t.lanes <-
+    {
+      lane_name = name;
+      lane_remote = remote_tor;
+      lane_covers = covers;
+      lane_seq = 0;
+      lane_replies = 0;
+      lane_miss_streak = 0;
+      lane_ok_streak = 0;
+      lane_up = true;
+      lane_down_since = None;
+      lane_stash = [];
+    }
+    :: t.lanes;
+  if not t.probing then begin
+    t.probing <- true;
+    Engine.every t.engine
+      ~start:(Simtime.add (Engine.now t.engine) t.config.Config.probe_interval)
+      t.config.Config.probe_interval
+      (fun () ->
+        if t.probing then begin
+          probe_tick t;
+          `Continue
+        end
+        else `Stop)
+  end
+
+let lane_is_up t ~name =
+  Option.map
+    (fun lane -> lane.lane_up)
+    (List.find_opt (fun l -> String.equal l.lane_name name) t.lanes)

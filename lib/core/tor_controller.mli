@@ -43,14 +43,55 @@ val receive_uplink : t -> Local_controller.uplink -> unit
 (** Ingest one message from a server's uplink channel. A [Report]
     replaces that server's previous report (the next decision tick
     reads the latest from every server); an [Ack] resolves a pending
-    directive. Either kind counts as proof of life for the dead-peer
-    detector and triggers replay of unreconciled demotes. *)
+    directive; a [Resync] (restarted local controller) re-sends the
+    full offload intent for that server under fresh sequence numbers.
+    Every kind counts as proof of life for the dead-peer detector and
+    triggers replay of unreconciled demotes. *)
 
 val start : t -> unit
-(** Start the TOR ME and the per-control-interval decision loop. *)
+(** Start the TOR ME, the per-control-interval decision loop, and —
+    when {!Config.t.tcam_audit_interval} is set — the anti-entropy
+    audit sweep. *)
 
 val stop : t -> unit
-(** Stop the decision loop and the TOR ME; offloaded rules remain. *)
+(** Stop the decision loop, the TOR ME, and lane probing; offloaded
+    rules remain. *)
+
+(** {2 Express-lane failure domains}
+
+    Each {!add_lane} registers one express lane towards a peer ToR.
+    The controller probes every lane each {!Config.t.probe_interval}
+    (BFD-style, over the same GRE path as offloaded traffic). After
+    {!Config.t.lane_down_misses} silent intervals the lane is declared
+    down: every offloaded aggregate whose destinations ride it is
+    demoted to the software path (which routes over the default VXLAN
+    uplink instead), and new offloads towards it are suppressed. After
+    {!Config.t.lane_up_oks} consecutive replying intervals the lane
+    heals and the demoted aggregates are re-promoted — the two-sided
+    hysteresis keeps a marginal lane from flapping flows between
+    paths. *)
+
+val add_lane :
+  t ->
+  name:string ->
+  remote_tor:Netcore.Ipv4.t ->
+  covers:(Netcore.Ipv4.t -> bool) ->
+  unit
+(** Register an express lane towards the peer ToR at [remote_tor];
+    [covers] says which destination VM addresses ride it. The first
+    registration starts the probe loop and claims the ToR's probe
+    sink. *)
+
+val lane_is_up : t -> name:string -> bool option
+(** The prober's current verdict on a lane ([None] if unknown). *)
+
+val audit_tcam : t -> unit
+(** Run one anti-entropy sweep now: reinstall intent whose TCAM
+    entries were lost (demoting to software if the TCAM refuses them),
+    and remove orphaned managed entries no intent vouches for.
+    Entries installed outside this controller (static pins) are never
+    touched. Normally driven by {!Config.t.tcam_audit_interval};
+    exposed for tests and tooling. *)
 
 val offloaded_count : t -> int
 (** Aggregates whose rules are currently installed in the ToR. *)

@@ -40,7 +40,7 @@ let offload_scp_flows (setup : Memcached_eval.setup) =
               ignore
                 (Host.Bonding.install_rule a.bonding ~pattern ~priority:5
                    Host.Bonding.Vf)
-          | Error `Tcam_full -> ()))
+          | Error (`Tcam_full | `Install_fault) -> ()))
     setup.Memcached_eval.mem_vms
 
 let run_scoring () =

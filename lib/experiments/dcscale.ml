@@ -103,7 +103,8 @@ let pin_direction ~src_tb ~dst_tb (a : Host.Server.attached)
         let vrf = Tor.Tor_switch.vrf tor tenant in
         match Tor.Vrf.install vrf compiled with
         | Ok _ -> ()
-        | Error `Tcam_full -> invalid_arg "Dcscale.pin_direction: TCAM full"
+        | Error (`Tcam_full | `Install_fault) ->
+            invalid_arg "Dcscale.pin_direction: TCAM full"
       in
       install src_tb.Testbed.tor;
       if dst_tb.Testbed.tor != src_tb.Testbed.tor then install dst_tb.Testbed.tor);
@@ -185,7 +186,7 @@ let run ?(config = default_config) () =
         in
         Core_switch.attach_rack core
           ~tor_ip:(Tor.Tor_switch.ip tb.Testbed.tor)
-          ~downlink;
+          ~downlink ();
         Array.iter
           (fun s ->
             Core_switch.register_server core ~server_ip:(Host.Server.ip s)

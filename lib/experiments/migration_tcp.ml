@@ -71,7 +71,8 @@ let run ?(migrate_at = 1.0) ?(duration = 4.0) () =
              in
              match Tor.Vrf.install vrf compiled with
              | Ok _ -> ()
-             | Error `Tcam_full -> invalid_arg "migration_tcp: TCAM full"));
+             | Error (`Tcam_full | `Install_fault) ->
+                 invalid_arg "migration_tcp: TCAM full"));
          ignore
            (Host.Bonding.install_rule sender.Host.Server.bonding
               ~pattern:(Fkey.Pattern.exact flow) ~priority:6 Host.Bonding.Vf);

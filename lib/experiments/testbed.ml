@@ -146,7 +146,8 @@ let force_path_vf t (a : Host.Server.attached) =
       let vrf = Tor.Tor_switch.vrf t.tor tenant in
       match Tor.Vrf.install vrf compiled with
       | Ok _ -> ()
-      | Error `Tcam_full -> invalid_arg "Testbed.force_path_vf: TCAM full"));
+      | Error (`Tcam_full | `Install_fault) ->
+          invalid_arg "Testbed.force_path_vf: TCAM full"));
   ignore
     (Host.Bonding.install_rule a.bonding ~pattern ~priority:1 Host.Bonding.Vf);
   (* Plain (untunneled) packets addressed to this VM are delivered to

@@ -22,6 +22,8 @@ type 'msg t
 
 val create :
   ?cluster:Dcsim.Cluster.t ->
+  ?faults:Faults.Injector.t ->
+  ?copy:('msg -> 'msg) ->
   ?name:string ->
   src:Dcsim.Engine.t ->
   dst:Dcsim.Engine.t ->
@@ -34,6 +36,16 @@ val create :
     ["fabric.chan"]). With [?cluster] and distinct engines, the latency
     is registered as a lookahead bound via
     {!Dcsim.Cluster.constrain_lookahead}.
+
+    With [?faults], each send draws a verdict from the injector: drops
+    lose the message without advancing the FIFO cursor, jitter only
+    ever {e adds} to [latency] (so registered lookahead bounds stay
+    valid), reorder verdicts bypass the FIFO clamp, and duplicates
+    deliver the message a second time — through [copy] (default
+    identity), which messages with mutable state must override
+    (packet channels pass {!Netcore.Packet.copy}, or the first
+    delivery's decap would corrupt the duplicate). Without [?faults] the delivery
+    path is untouched — fault-free runs stay byte-identical.
     @raise Invalid_argument if [latency] is negative, or zero with
     [src != dst] (a zero-latency cross-shard link would break the
     lookahead invariant). *)
@@ -63,7 +75,12 @@ val messages_sent : 'msg t -> int
 (** Messages accepted by {!send} so far. *)
 
 val messages_delivered : 'msg t -> int
-(** Messages whose handler has already run. *)
+(** Messages whose handler has already run (duplicated deliveries
+    count, so under faults this can exceed {!messages_sent}). *)
+
+val messages_dropped : 'msg t -> int
+(** Messages lost to fault injection. Always zero without [?faults]. *)
 
 val in_flight : 'msg t -> int
-(** Messages sent but not yet delivered. *)
+(** Messages sent but neither delivered nor dropped. Can dip below
+    zero transiently under duplication faults. *)

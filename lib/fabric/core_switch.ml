@@ -3,14 +3,19 @@ module Ipv4 = Netcore.Ipv4
 
 let m_routed = Obs.Metrics.counter "fabric.core.routed"
 let m_drops = Obs.Metrics.counter "fabric.core.no_route_drops"
+let m_port_drops = Obs.Metrics.counter "fabric.core.port_drops"
+let m_port_dups = Obs.Metrics.counter "fabric.core.port_dups"
+
+type port = { downlink : Packet.t Channel.t; faults : Faults.Injector.t option }
 
 type t = {
   core_name : string;
   engine : Dcsim.Engine.t;
-  downlinks : (int, Packet.t Channel.t) Hashtbl.t; (* tor ip -> downlink *)
+  downlinks : (int, port) Hashtbl.t; (* tor ip -> downlink port *)
   server_rack : (int, int) Hashtbl.t; (* server ip -> tor ip *)
   mutable routed : int;
   mutable dropped : int;
+  mutable port_dropped : int;
 }
 
 let create ~engine ?(name = "core") () =
@@ -21,12 +26,13 @@ let create ~engine ?(name = "core") () =
     server_rack = Hashtbl.create 64;
     routed = 0;
     dropped = 0;
+    port_dropped = 0;
   }
 
 let ip_key addr = Int32.to_int (Ipv4.to_int32 addr)
 
-let attach_rack t ~tor_ip ~downlink =
-  Hashtbl.replace t.downlinks (ip_key tor_ip) downlink
+let attach_rack t ?faults ~tor_ip ~downlink () =
+  Hashtbl.replace t.downlinks (ip_key tor_ip) { downlink; faults }
 
 let register_server t ~server_ip ~tor_ip =
   Hashtbl.replace t.server_rack (ip_key server_ip) (ip_key tor_ip)
@@ -35,12 +41,40 @@ let drop t =
   t.dropped <- t.dropped + 1;
   Obs.Metrics.incr m_drops
 
+(* Push a packet out of one downlink port, drawing a fault verdict when
+   the port has an injector. Extra delay is applied on the core shard
+   BEFORE the downlink channel send, so the channel's own latency (and
+   hence any registered lookahead bound) is still fully honoured; the
+   channel's FIFO clamp then re-imposes in-order delivery, which is why
+   reorder verdicts are ignored here. *)
+let port_out t port pkt =
+  match port.faults with
+  | None -> Channel.send port.downlink pkt
+  | Some inj -> (
+      match Faults.Injector.decide inj ~now:(Dcsim.Engine.now t.engine) with
+      | Faults.Injector.Drop ->
+          t.port_dropped <- t.port_dropped + 1;
+          Obs.Metrics.incr m_port_drops
+      | Faults.Injector.Deliver { extra_delay; in_order = _; duplicate_delay } ->
+          let after d k =
+            if Dcsim.Simtime.span_to_ns d <= 0 then k ()
+            else ignore (Dcsim.Engine.after t.engine d k)
+          in
+          after extra_delay (fun () -> Channel.send port.downlink pkt);
+          (match duplicate_delay with
+          | None -> ()
+          | Some d ->
+              Obs.Metrics.incr m_port_dups;
+              after
+                (Dcsim.Simtime.span_add extra_delay d)
+                (fun () -> Channel.send port.downlink (Packet.copy pkt))))
+
 let forward t key pkt =
   match Hashtbl.find_opt t.downlinks key with
-  | Some downlink ->
+  | Some port ->
       t.routed <- t.routed + 1;
       Obs.Metrics.incr m_routed;
-      Channel.send downlink pkt
+      port_out t port pkt
   | None -> drop t
 
 let receive t pkt =
@@ -65,3 +99,4 @@ let engine t = t.engine
 let racks_attached t = Hashtbl.length t.downlinks
 let packets_routed t = t.routed
 let packets_dropped t = t.dropped
+let port_drops t = t.port_dropped

@@ -18,10 +18,24 @@ type t
 val create : engine:Dcsim.Engine.t -> ?name:string -> unit -> t
 (** A core switch running on [engine] (default name ["core"]). *)
 
-val attach_rack : t -> tor_ip:Netcore.Ipv4.t -> downlink:Netcore.Packet.t Channel.t -> unit
+val attach_rack :
+  t ->
+  ?faults:Faults.Injector.t ->
+  tor_ip:Netcore.Ipv4.t ->
+  downlink:Netcore.Packet.t Channel.t ->
+  unit ->
+  unit
 (** Register the downlink channel towards the rack whose ToR loopback
     is [tor_ip]. GRE packets with that [tunnel_dst] are forwarded on
-    [downlink]. Re-attaching the same [tor_ip] replaces the route. *)
+    [downlink]. Re-attaching the same [tor_ip] replaces the route.
+
+    With [?faults], every packet forwarded out this port draws a fault
+    verdict first: drops are counted (see {!port_drops} and the
+    [fabric.core.port_drops] counter), jitter delays the send on the
+    core shard before the downlink channel's own latency (lookahead
+    bounds stay valid), and duplicates send a {!Netcore.Packet.copy}.
+    Reorder verdicts are ignored — the downlink channel's FIFO clamp
+    re-imposes ordering anyway. *)
 
 val register_server : t -> server_ip:Netcore.Ipv4.t -> tor_ip:Netcore.Ipv4.t -> unit
 (** Record that the server at [server_ip] lives under the rack whose
@@ -47,3 +61,7 @@ val packets_routed : t -> int
 
 val packets_dropped : t -> int
 (** Packets dropped for lack of a route so far. *)
+
+val port_drops : t -> int
+(** Packets lost to per-port fault injection so far. Always zero when
+    no port has an injector. *)

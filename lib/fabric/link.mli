@@ -9,14 +9,24 @@
 type t
 
 val create :
+  ?faults:Faults.Injector.t ->
   engine:Dcsim.Engine.t ->
   name:string ->
   gbps:float ->
   latency:Dcsim.Simtime.span ->
   deliver:(Netcore.Packet.t -> unit) ->
+  unit ->
   t
 (** A link serialising at [gbps], then delaying each message by
-    [latency] before handing it to [deliver]. *)
+    [latency] before handing it to [deliver].
+
+    With [?faults], each packet leaving the wire draws a verdict from
+    the injector: drops are counted (see {!packets_dropped} and the
+    [fabric.link.drops] counter), jitter only ever {e adds} to
+    [latency], and duplicates deliver a {!Netcore.Packet.copy}.
+    Reordering verdicts are ignored — a point-to-point wire has no
+    alternate path. Without [?faults] the delivery path is untouched,
+    keeping fault-free runs byte-identical. *)
 
 val wire_bytes : Netcore.Packet.t -> int
 (** On-the-wire bytes of a message: payload plus per-frame headers,
@@ -38,6 +48,10 @@ val packets_sent : t -> int
 
 val bytes_sent : t -> int
 (** Wire bytes (per {!wire_bytes}) fully serialised so far. *)
+
+val packets_dropped : t -> int
+(** Packets lost to fault injection after serialisation. Always zero
+    without [?faults]. *)
 
 val queue_length : t -> int
 (** Messages waiting for the wire, not counting the one in flight. *)

@@ -10,6 +10,8 @@ type t = {
   jitter : Simtime.span;
   windows : window list;
   triggers : trigger list;
+  tcam_install_fail : float;
+  tcam_soft_error : float;
 }
 
 let none =
@@ -20,12 +22,17 @@ let none =
     jitter = Simtime.span_zero;
     windows = [];
     triggers = [];
+    tcam_install_fail = 0.0;
+    tcam_soft_error = 0.0;
   }
 
-let is_none t =
-  t.drop = 0.0 && t.duplicate = 0.0 && t.reorder = 0.0
-  && Simtime.span_to_ns t.jitter = 0
-  && t.windows = [] && t.triggers = []
+let has_channel_faults t =
+  t.drop > 0.0 || t.duplicate > 0.0 || t.reorder > 0.0
+  || Simtime.span_to_ns t.jitter > 0
+  || t.windows <> [] || t.triggers <> []
+
+let has_tcam_faults t = t.tcam_install_fail > 0.0 || t.tcam_soft_error > 0.0
+let is_none t = not (has_channel_faults t) && not (has_tcam_faults t)
 
 let lossy ?(drop = 0.05) ?(duplicate = 0.01) ?(reorder = 0.02)
     ?(jitter = Simtime.span_us 200.0) () =
@@ -37,7 +44,9 @@ let lossy ?(drop = 0.05) ?(duplicate = 0.01) ?(reorder = 0.02)
      drop=P dup=P reorder=P        probabilities in [0,1]
      jitter_us=F                   uniform extra delay bound
      down=FROM:UNTIL               link-down window, seconds (repeatable)
-     dropnext=AT:N                 at AT seconds drop the next N messages *)
+     dropnext=AT:N                 at AT seconds drop the next N messages
+     tcam_fail=P                   per-install TCAM failure probability
+     tcam_soft=P                   per-100ms-per-VRF soft-error probability *)
 
 let prob_item key v =
   match float_of_string_opt v with
@@ -78,7 +87,7 @@ let of_string s =
               | [ a; b ] -> (
                   match (float_of_string_opt a, float_of_string_opt b) with
                   | Some from_s, Some until_s
-                    when from_s >= 0.0 && until_s >= from_s ->
+                    when from_s >= 0.0 && until_s > from_s ->
                       Ok
                         {
                           t with
@@ -91,6 +100,12 @@ let of_string s =
                                 };
                               ];
                         }
+                  | Some from_s, Some until_s ->
+                      Error
+                        (Printf.sprintf
+                           "down: window %S can never fire (want 0 <= FROM < \
+                            UNTIL, got FROM=%g UNTIL=%g)"
+                           v from_s until_s)
                   | _ -> Error (Printf.sprintf "down: bad window %S" v))
               | _ -> Error (Printf.sprintf "down: want FROM:UNTIL seconds, got %S" v))
           | "dropnext" -> (
@@ -107,6 +122,12 @@ let of_string s =
                         }
                   | _ -> Error (Printf.sprintf "dropnext: bad trigger %S" v))
               | _ -> Error (Printf.sprintf "dropnext: want AT:COUNT, got %S" v))
+          | "tcam_fail" ->
+              let* p = prob_item key v in
+              Ok { t with tcam_install_fail = p }
+          | "tcam_soft" ->
+              let* p = prob_item key v in
+              Ok { t with tcam_soft_error = p }
           | _ -> Error (Printf.sprintf "unknown fault key %S" key)))
     (Ok none) items
 
@@ -126,6 +147,20 @@ let profile = function
       (* Tiny but representative: enough loss to exercise retries in a
          couple of simulated seconds without slowing CI. *)
       Ok (lossy ~drop:0.15 ~duplicate:0.05 ~reorder:0.05 ~jitter:(Simtime.span_us 300.0) ())
+  | "fabric" ->
+      (* Data-plane chaos: a mid-run express-lane outage long enough to
+         trip lane-down detection, steady loss, and TCAM failure modes.
+         Meant for the fabric uplinks of the fabric-chaos experiment. *)
+      Ok
+        {
+          (lossy ~drop:0.02 ~duplicate:0.01 ~reorder:0.02
+             ~jitter:(Simtime.span_us 100.0) ())
+          with
+          windows =
+            [ { down_from = Simtime.of_sec 1.0; down_until = Simtime.of_sec 1.6 } ];
+          tcam_install_fail = 0.05;
+          tcam_soft_error = 0.02;
+        }
   | other -> of_string other
 
 let to_string t =
@@ -145,4 +180,6 @@ let to_string t =
   List.iter
     (fun tr -> item "dropnext=%g:%d" (Simtime.to_sec tr.fire_at) tr.drop_next)
     t.triggers;
+  if t.tcam_install_fail > 0.0 then item "tcam_fail=%g" t.tcam_install_fail;
+  if t.tcam_soft_error > 0.0 then item "tcam_soft=%g" t.tcam_soft_error;
   if Buffer.length b = 0 then "none" else Buffer.contents b

@@ -1,9 +1,12 @@
-(** Deterministic fault schedules for control channels.
+(** Deterministic fault schedules for control and data channels.
 
     A schedule describes *what can go wrong* on a channel: per-message
     drop / duplicate / reorder probabilities, uniform extra delivery
     jitter, link-down windows (every message sent inside a window is
     lost), and one-shot triggers ("at t, drop the next n messages").
+    The same schedule also carries the data-plane TCAM failure modes
+    (probabilistic install failure and entry soft errors), which are
+    read by the rule manager rather than by channel injectors.
     A schedule is pure data — pair it with a {!Dcsim.Rng} stream in an
     {!Injector} to obtain a deterministic per-channel fault source, so
     a faulty run is still an exact function of its seed.
@@ -34,15 +37,32 @@ type t = {
       (** Extra delivery delay drawn uniformly from [\[0, jitter)]. *)
   windows : window list;
   triggers : trigger list;
+  tcam_install_fail : float;
+      (** Probability each TCAM rule install fails outright, in [0,1].
+          Consumed by the rule manager, not by channel injectors. *)
+  tcam_soft_error : float;
+      (** Per-scan-per-VRF probability (drawn every 100 ms) that a
+          random installed entry suffers a soft error and is silently
+          evicted. Consumed by the rule manager. *)
 }
 
 val none : t
-(** All probabilities zero, no jitter, no windows, no triggers. *)
+(** All probabilities zero, no jitter, no windows, no triggers, no TCAM
+    faults. *)
 
 val is_none : t -> bool
-(** True iff the schedule can never perturb a message — channels treat
+(** True iff the schedule can never perturb anything — channels treat
     such a schedule exactly like no schedule at all, keeping fault-free
     runs byte-identical. *)
+
+val has_channel_faults : t -> bool
+(** True iff any of the per-message channel faults (drop, dup, reorder,
+    jitter, windows, triggers) can fire. A schedule with only TCAM
+    faults set needs no channel injectors. *)
+
+val has_tcam_faults : t -> bool
+(** True iff {!field-tcam_install_fail} or {!field-tcam_soft_error} is
+    positive. *)
 
 val lossy :
   ?drop:float ->
@@ -56,12 +76,14 @@ val lossy :
 
 val of_string : string -> (t, string) result
 (** Parse the comma-separated [key=value] syntax, e.g.
-    ["drop=0.05,dup=0.01,reorder=0.02,jitter_us=500,down=1.5:2.0,dropnext=2.5:10"].
-    [down] and [dropnext] may repeat. See [docs/FAULTS.md]. *)
+    ["drop=0.05,dup=0.01,jitter_us=500,down=1.5:2.0,tcam_fail=0.1"].
+    [down] and [dropnext] may repeat; [down=FROM:UNTIL] requires
+    [0 <= FROM < UNTIL] — zero-width and inverted windows are rejected
+    with an explanatory error. See [docs/FAULTS.md]. *)
 
 val profile : string -> (t, string) result
-(** Resolve a named profile ([none], [lossy], [chaos], [smoke]) or fall
-    back to {!of_string} for a raw spec. *)
+(** Resolve a named profile ([none], [lossy], [chaos], [smoke],
+    [fabric]) or fall back to {!of_string} for a raw spec. *)
 
 val to_string : t -> string
 (** Canonical [of_string]-parseable rendering. *)

@@ -41,6 +41,10 @@ let path_for t flow =
   | Some p -> p
   | None -> Vif
 
+let rules t =
+  Rules.Rule_table.fold_rules t.rules ~init: []
+    ~f:(fun acc id pattern _priority path -> (id, pattern, path) :: acc)
+
 let rule_count t = Rules.Rule_table.rule_count t.rules
 let packets_via_vif t = t.via_vif
 let packets_via_vf t = t.via_vf

@@ -24,6 +24,12 @@ val install_rule :
 
 val remove_rule : t -> Rules.Rule_table.rule_id -> bool
 
+val rules :
+  t -> (Rules.Rule_table.rule_id * Netcore.Fkey.Pattern.t * path) list
+(** Live placer rules (id, pattern, path), lowest priority first. The
+    local controller reconciles these against its restored intent after
+    a crash/restart. *)
+
 val path_for : t -> Netcore.Fkey.t -> path
 (** Current placement decision for a flow (no cache side effects). *)
 

@@ -30,11 +30,13 @@ let create ~engine ~name ~ip ~config ~tor =
     Fabric.Link.create ~engine ~name:(name ^ ".vsw->tor") ~gbps:Cost.link_gbps
       ~latency:Cost.nic_fixed_latency
       ~deliver:(fun pkt -> Tor.Tor_switch.receive tor pkt)
+      ()
   in
   let sriov_uplink =
     Fabric.Link.create ~engine ~name:(name ^ ".vf->tor") ~gbps:Cost.link_gbps
       ~latency:Cost.nic_fixed_latency
       ~deliver:(fun pkt -> Tor.Tor_switch.receive tor pkt)
+      ()
   in
   let ovs =
     Vswitch.Ovs.create ~engine ~config ~host_pool ~server_ip:ip

@@ -28,6 +28,8 @@ let create ~now ~flow ~payload ?(l4 = Plain) ?(bulk = false) () =
 
 let data_packet ~now ~flow ~payload = create ~now ~flow ~payload ()
 
+let copy t = { t with encaps = t.encaps }
+
 let push_encap t encap = t.encaps <- encap :: t.encaps
 
 let pop_encap t =

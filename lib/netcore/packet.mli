@@ -40,6 +40,12 @@ val create :
 val data_packet : now:Dcsim.Simtime.t -> flow:Fkey.t -> payload:int -> t
 (** [l4 = Plain]. *)
 
+val copy : t -> t
+(** A duplicate sharing the flow key and payload but with its own
+    mutable encapsulation stack and hop count, so a duplicated delivery
+    (fault injection) cannot corrupt the original's encap state. Keeps
+    the original's [uid] — it is the same logical packet on the wire. *)
+
 val push_encap : t -> encap -> unit
 
 val pop_encap : t -> encap option

@@ -125,6 +125,14 @@ let convert events =
       | Trace.Tcam_install { used; _ } | Trace.Tcam_evict { used; _ } ->
           note_track "tor";
           counters := (ts, "tor", "tcam.used", used) :: !counters
+      | Trace.Lane_state { lane; up } ->
+          instant ts "tor"
+            (Printf.sprintf "lane %s %s" lane (if up then "up" else "down"))
+            []
+      | Trace.Tcam_error { kind; entries; _ } ->
+          instant ts "tor"
+            ("tcam error " ^ kind)
+            [ ("entries", Trace.I entries) ]
       | Trace.Cache_invalidate { vif; reason; dropped; exact; megaflow } ->
           instant ts "vswitch"
             (Printf.sprintf "cache invalidate %s (%s)" vif reason)
@@ -134,10 +142,11 @@ let convert events =
               ("megaflow", Trace.I megaflow);
             ]
       (* Hit/miss events are per-lookup volume; exporting each would
-         swamp the timeline, so they are deliberately not converted. *)
+         swamp the timeline, so they are deliberately not converted.
+         Likewise flow-progress heartbeats. *)
       | Trace.Cache_hit _ | Trace.Cache_miss _
       | Trace.Fps_split _ | Trace.Path_transition _ | Trace.Rule_pushed _
-      | Trace.Epoch_tick _ ->
+      | Trace.Epoch_tick _ | Trace.Flow_progress _ ->
           ())
     events;
   let final_ts = !last_ts in

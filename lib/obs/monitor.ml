@@ -13,6 +13,15 @@ exception Strict_violation of violation
 (* Migration progress per VM, keyed by the Ipv4 string. *)
 type mg_state = Idle | Preparing
 
+(* Delivery progress per flow, keyed by the flow label of its
+   Flow_progress heartbeats. [progress_at] is the last instant the flow
+   either delivered something new or had no outstanding demand. *)
+type flow_state = {
+  mutable fl_sent : int;
+  mutable fl_acked : int;
+  mutable progress_at : Simtime.t;
+}
+
 type t = {
   mode : mode;
   mutable violations_rev : violation list;
@@ -23,9 +32,12 @@ type t = {
   (* span id -> kind, for begin/end pairing *)
   open_spans : (int, string) Hashtbl.t;
   migrations : (string, mg_state) Hashtbl.t;
+  no_blackhole_window : Simtime.span;
+  flows : (string, flow_state) Hashtbl.t;
 }
 
-let create ?(mode = Warn) () =
+let create ?(mode = Warn)
+    ?(no_blackhole_window = Simtime.span_ms 1000.0) () =
   {
     mode;
     violations_rev = [];
@@ -34,6 +46,8 @@ let create ?(mode = Warn) () =
     last_seq = Hashtbl.create 8;
     open_spans = Hashtbl.create 64;
     migrations = Hashtbl.create 8;
+    no_blackhole_window;
+    flows = Hashtbl.create 16;
   }
 
 let mode t = t.mode
@@ -130,9 +144,37 @@ let observe t at (ev : Trace.event) =
         violate t ~at ~monitor:"cache_coherence"
           (Printf.sprintf "%s: negative count in invalidate (%s): %d/%d/%d" vif
              reason dropped exact megaflow)
+  | Trace.Flow_progress { flow; sent; acked } -> (
+      (* no_blackhole: a flow whose sender keeps producing while
+         deliveries stall for longer than the window is blackholing —
+         failover should have moved it to a working path by now. A flow
+         with no new demand (sent unchanged) is merely idle. *)
+      match Hashtbl.find_opt t.flows flow with
+      | None ->
+          Hashtbl.replace t.flows flow
+            { fl_sent = sent; fl_acked = acked; progress_at = at }
+      | Some st ->
+          let made_progress = acked > st.fl_acked in
+          let has_demand = sent > st.fl_sent && acked < sent in
+          st.fl_sent <- sent;
+          st.fl_acked <- acked;
+          if made_progress || not has_demand then st.progress_at <- at
+          else begin
+            let stalled = Simtime.diff at st.progress_at in
+            if Simtime.span_compare stalled t.no_blackhole_window > 0 then begin
+              (* Restart the window so Warn mode reports a stuck flow
+                 once per window rather than once per heartbeat. *)
+              st.progress_at <- at;
+              violate t ~at ~monitor:"no_blackhole"
+                (Printf.sprintf
+                   "flow %s: sent %d but acked stuck at %d for %.3fs" flow sent
+                   acked (Simtime.span_to_sec stalled))
+            end
+          end)
   | Trace.Flow_promoted _ | Trace.Flow_demoted _ | Trace.Path_transition _
   | Trace.Epoch_tick _ | Trace.Ctrl_drop _ | Trace.Ctrl_retry _
-  | Trace.Peer_state _ | Trace.Cache_miss _ ->
+  | Trace.Peer_state _ | Trace.Cache_miss _ | Trace.Lane_state _
+  | Trace.Tcam_error _ ->
       ()
 
 let attach t = Trace.use_tee (fun now ev -> observe t now ev)

@@ -24,6 +24,12 @@
       cache equals the fresh policy evaluation carried in the same
       {!Trace.Cache_hit} event (emitters compute it at hit time), and
       invalidation events never report negative counts.
+    - {b no_blackhole} — every flow with outstanding demand makes
+      delivery progress within a bounded window: if a flow's
+      {!Trace.Flow_progress} heartbeats show [sent] still growing while
+      [acked] has not moved for longer than the window, the flow is
+      blackholing — failover should have moved it to a working path.
+      Flows with no new demand are merely idle and never violate.
 
     Violations are counted per monitor and recorded with their sim time
     and a human-readable detail. In [Warn] mode the run continues and
@@ -48,8 +54,12 @@ exception Strict_violation of violation
 
 type t
 
-val create : ?mode:mode -> unit -> t
-(** A fresh monitor with empty state; [mode] defaults to [Warn]. *)
+val create : ?mode:mode -> ?no_blackhole_window:Dcsim.Simtime.span -> unit -> t
+(** A fresh monitor with empty state; [mode] defaults to [Warn].
+    [no_blackhole_window] bounds how long a flow with demand may go
+    without delivery progress (default 1 s — comfortably above the
+    worst-case lane-failover time, so a healthy failover never trips
+    it). *)
 
 val mode : t -> mode
 

@@ -53,6 +53,9 @@ type event =
   | Ctrl_drop of { channel : string }
   | Ctrl_retry of { server : string; seq : int; attempt : int; span : int }
   | Peer_state of { server : string; alive : bool }
+  | Lane_state of { lane : string; up : bool }
+  | Tcam_error of { tenant : Tenant.id; kind : string; entries : int }
+  | Flow_progress of { flow : string; sent : int; acked : int }
   | Migration_stage of {
       vm_ip : Ipv4.t;
       stage : [ `Prepare | `Commit | `Abort ];
@@ -237,6 +240,20 @@ let to_jsonl now event =
       ev "peer_state";
       kv_s b "server" server;
       kv_s b "state" (if alive then "alive" else "dead")
+  | Lane_state { lane; up } ->
+      ev "lane_state";
+      kv_s b "lane" lane;
+      kv_s b "state" (if up then "up" else "down")
+  | Tcam_error { tenant; kind; entries } ->
+      ev "tcam_error";
+      kv_tenant b "tenant" tenant;
+      kv_s b "kind" kind;
+      kv_i b "entries" entries
+  | Flow_progress { flow; sent; acked } ->
+      ev "flow_progress";
+      kv_s b "flow" flow;
+      kv_i b "sent" sent;
+      kv_i b "acked" acked
   | Migration_stage { vm_ip; stage } ->
       ev "migration";
       kv_ip b "vm_ip" vm_ip;
@@ -463,6 +480,25 @@ let of_jsonl line =
           | _ -> None
         in
         Some (Peer_state { server; alive })
+    | "lane_state" ->
+        let* lane = str "lane" in
+        let* up =
+          match str "state" with
+          | Some "up" -> Some true
+          | Some "down" -> Some false
+          | _ -> None
+        in
+        Some (Lane_state { lane; up })
+    | "tcam_error" ->
+        let* tenant = tenant "tenant" in
+        let* kind = str "kind" in
+        let* entries = int "entries" in
+        Some (Tcam_error { tenant; kind; entries })
+    | "flow_progress" ->
+        let* flow = str "flow" in
+        let* sent = int "sent" in
+        let* acked = int "acked" in
+        Some (Flow_progress { flow; sent; acked })
     | "migration" ->
         let* vm_ip = ip "vm_ip" in
         let* stage =

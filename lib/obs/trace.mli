@@ -102,6 +102,23 @@ type event =
       (** The TOR controller's dead-peer detector changed its verdict
           on a server's local controller. A transition to dead demotes
           the server's offloaded flows (graceful degradation). *)
+  | Lane_state of { lane : string; up : bool }
+      (** The express-lane liveness detector changed its verdict on one
+          lane (a named probe path between two ToRs). A transition to
+          down demotes the flows riding the lane to the software path;
+          a transition back to up re-promotes them. *)
+  | Tcam_error of { tenant : Netcore.Tenant.id; kind : string; entries : int }
+      (** A TCAM failure was injected: [kind] is ["install_fault"] (a
+          rule-set install failed outright; [entries] is the size it
+          wanted) or ["soft_error"] (an installed rule set of [entries]
+          entries was silently evicted). *)
+  | Flow_progress of { flow : string; sent : int; acked : int }
+      (** Periodic per-flow delivery progress from a workload: [sent]
+          and [acked] are cumulative progress counters (bytes, for
+          [Workloads.Stream]; any monotone unit works). The
+          [no_blackhole] monitor watches these — a flow whose [sent]
+          grows while [acked] stalls beyond the allowed window is
+          blackholing. *)
   | Migration_stage of {
       vm_ip : Netcore.Ipv4.t;
       stage : [ `Prepare | `Commit | `Abort ];

@@ -23,11 +23,26 @@ type t = {
          domains (no single-int packing) and building a tuple per
          forwarded packet was hot-path garbage. *)
   peers : (int, Packet.t -> unit) Hashtbl.t;
+  (* Default route for software-path (VXLAN) packets whose outer server
+     address is not on this rack: the uplink towards the core. [None]
+     (single-rack topologies) keeps the historical drop behaviour. *)
+  mutable uplink : (Packet.t -> unit) option;
+  (* Lane-probe replies are handed here (remote ToR, probe seq). *)
+  mutable probe_sink : (remote_tor:Netcore.Ipv4.t -> seq:int -> unit) option;
+  (* Install-fault hook applied to every tenant VRF, present and
+     future. [None] is the reliable path. *)
+  mutable vrf_install_fault : (unit -> bool) option;
   offloaded_stats : Vswitch.Flow_stats.t;
   mutable acl_drops : int;
   mutable no_route_drops : int;
   mutable forwarded : int;
 }
+
+(* Reserved L4 ports for BFD-style express-lane liveness probes. Probe
+   packets ride the same GRE express path as offloaded traffic (same
+   peers table, same fabric links) so they share its fate. *)
+let probe_port = 65001
+let probe_reply_port = 65002
 
 let create ~engine ~ip ~tcam_capacity =
   {
@@ -39,6 +54,9 @@ let create ~engine ~ip ~tcam_capacity =
     servers = Hashtbl.create 16;
     vm_location = Hashtbl.create 64;
     peers = Hashtbl.create 4;
+    uplink = None;
+    probe_sink = None;
+    vrf_install_fault = None;
     offloaded_stats = Vswitch.Flow_stats.create ();
     acl_drops = 0;
     no_route_drops = 0;
@@ -56,6 +74,7 @@ let vrf t tenant =
   | Some v -> v
   | None ->
       let v = Vrf.create ~tenant ~tcam:t.tcam in
+      Vrf.set_install_fault v t.vrf_install_fault;
       t.vrfs <- (tid, v) :: t.vrfs;
       Hashtbl.replace t.vlan_to_tenant (Netcore.Tenant.to_vlan tenant) tenant;
       v
@@ -64,7 +83,7 @@ let attach_server t ~server_ip ~to_vswitch ~to_sriov =
   let mk_port deliver name =
     let link =
       Fabric.Link.create ~engine:t.engine ~name ~gbps:Cost.link_gbps
-        ~latency:Cost.tor_forward_latency ~deliver
+        ~latency:Cost.tor_forward_latency ~deliver ()
     in
     Qos_queue.create ~engine:t.engine ~classes:8 ~link ~gbps:Cost.link_gbps
   in
@@ -98,6 +117,14 @@ let vm_lookup t ~tenant ~dst_ip =
     (ip_key dst_ip)
 
 let add_peer t peer_ip forward = Hashtbl.replace t.peers (ip_key peer_ip) forward
+let set_uplink t forward = t.uplink <- Some forward
+let set_probe_sink t sink = t.probe_sink <- Some sink
+
+let iter_vrfs t f = List.iter (fun (_, v) -> f v) t.vrfs
+
+let set_install_fault t hook =
+  t.vrf_install_fault <- hook;
+  iter_vrfs t (fun v -> Vrf.set_install_fault v hook)
 
 let drop_no_route t =
   t.no_route_drops <- t.no_route_drops + 1;
@@ -129,10 +156,46 @@ let wire_frames payload =
   Stdlib.max 1
     ((payload + Netcore.Hdr.max_tcp_payload - 1) / Netcore.Hdr.max_tcp_payload)
 
+let forward_to_peer t ~tor_ip pkt =
+  match Hashtbl.find_opt t.peers (ip_key tor_ip) with
+  | Some forward ->
+      note_forwarded t;
+      forward pkt
+  | None -> drop_no_route t
+
+let probe_tenant = Netcore.Tenant.of_int 0
+
+let probe_packet t ~dst_tor_ip ~seq ~dst_port =
+  let flow =
+    Fkey.make ~src_ip:t.tor_ip ~dst_ip:dst_tor_ip ~src_port:(seq land 0xffff)
+      ~dst_port ~proto:Fkey.Udp ~tenant:probe_tenant
+  in
+  let pkt =
+    Packet.data_packet ~now:(Engine.now t.engine) ~flow ~payload:64
+  in
+  Packet.push_encap pkt
+    (Packet.Gre { tunnel_dst = dst_tor_ip; key = probe_tenant });
+  pkt
+
+let send_lane_probe t ~dst_tor_ip ~seq =
+  forward_to_peer t ~tor_ip:dst_tor_ip
+    (probe_packet t ~dst_tor_ip ~seq ~dst_port:probe_port)
+
 (* Hardware-path reception: GRE packet addressed to this ToR. *)
 let handle_gre_rx t pkt ~key:tenant =
-  let vrf_table = vrf t tenant in
   let flow = pkt.Packet.flow in
+  if flow.Fkey.dst_port = probe_port then
+    (* Liveness probe request: echo a reply back over the reverse lane.
+       Checked before any VRF work — probes belong to no tenant. *)
+    forward_to_peer t ~tor_ip:flow.Fkey.src_ip
+      (probe_packet t ~dst_tor_ip:flow.Fkey.src_ip ~seq:flow.Fkey.src_port
+         ~dst_port:probe_reply_port)
+  else if flow.Fkey.dst_port = probe_reply_port then (
+    match t.probe_sink with
+    | Some sink -> sink ~remote_tor:flow.Fkey.src_ip ~seq:flow.Fkey.src_port
+    | None -> drop_no_route t)
+  else begin
+  let vrf_table = vrf t tenant in
   if not (Vrf.permits vrf_table flow) then drop_acl t
   else begin
     let queue = Vrf.queue_for vrf_table flow in
@@ -143,6 +206,7 @@ let handle_gre_rx t pkt ~key:tenant =
         ignore
           (Engine.after t.engine Cost.tor_vrf_latency (fun () ->
                to_server_sriov t ~server_key ~queue pkt))
+  end
   end
 
 (* Hardware-path transmission: VLAN-tagged packet from an SR-IOV VF. *)
@@ -198,9 +262,17 @@ let receive t pkt =
             forward pkt
         | None -> drop_no_route t
       end
-  | Some (Packet.Vxlan { tunnel_dst; _ }) ->
-      (* Software path: route by the outer (server) address. *)
-      to_server_vswitch t ~server_key:(ip_key tunnel_dst) ~queue:0 pkt
+  | Some (Packet.Vxlan { tunnel_dst; _ }) -> (
+      (* Software path: route by the outer (server) address. A server
+         not on this rack goes up towards the core (when an uplink is
+         configured — single-rack topologies have none and drop). *)
+      let server_key = ip_key tunnel_dst in
+      match (Hashtbl.mem t.servers server_key, t.uplink) with
+      | true, _ | false, None ->
+          to_server_vswitch t ~server_key ~queue:0 pkt
+      | false, Some up ->
+          note_forwarded t;
+          up pkt)
   | None -> (
       (* Plain packet (untunneled software path): route by VM location. *)
       let flow = pkt.Packet.flow in

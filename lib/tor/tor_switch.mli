@@ -60,6 +60,40 @@ val register_vm :
 val add_peer : t -> Netcore.Ipv4.t -> (Netcore.Packet.t -> unit) -> unit
 (** Uplink to a peer ToR, keyed by its loopback address. *)
 
+val set_uplink : t -> (Netcore.Packet.t -> unit) -> unit
+(** Default route for software-path (VXLAN) packets whose outer server
+    address is not attached to this rack: hand them to the given
+    forwarder (the rack's uplink towards the core). Without one —
+    single-rack topologies — such packets are dropped as before. *)
+
+val iter_vrfs : t -> (Vrf.t -> unit) -> unit
+(** Visit every instantiated tenant VRF. Used by the soft-error
+    injector and the anti-entropy audit. *)
+
+val set_install_fault : t -> (unit -> bool) option -> unit
+(** Arm (or with [None] disarm) the probabilistic install-failure hook
+    on every tenant VRF, including ones created later. See
+    {!Vrf.set_install_fault}. *)
+
+(** {2 Express-lane liveness probes}
+
+    BFD-style probes ride the same GRE express path as offloaded
+    traffic (same peers table, same fabric links), so they share its
+    fate: a down lane loses probes exactly like it loses data. Probes
+    use reserved L4 ports and belong to no tenant — the receive path
+    answers them before any VRF/ACL work. *)
+
+val send_lane_probe : t -> dst_tor_ip:Netcore.Ipv4.t -> seq:int -> unit
+(** Send one probe (sequence number [seq], truncated to 16 bits and
+    carried in the source port) towards the peer ToR at [dst_tor_ip].
+    The peer echoes a reply over the reverse lane; arrival is reported
+    to the {!set_probe_sink} callback. With no peer route the probe is
+    counted as a no-route drop. *)
+
+val set_probe_sink :
+  t -> (remote_tor:Netcore.Ipv4.t -> seq:int -> unit) -> unit
+(** Register the callback invoked for each received probe reply. *)
+
 val receive : t -> Netcore.Packet.t -> unit
 (** Ingest one packet from any port and route it by its outer encap:
     VLAN = hardware-path transmit, GRE = hardware-path receive or peer

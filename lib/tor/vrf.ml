@@ -13,6 +13,10 @@ type t = {
   tunnels : Rules.Tunnel_rule.Map.t;
   mutable tunnel_refcounts : (int, int) Hashtbl.t;  (* vm_ip -> refs *)
   mutable next_id : int;
+  (* Fault hook: consulted before each install; returning true makes
+     the install fail with [`Install_fault] without touching the TCAM.
+     [None] (the default) is the reliable path. *)
+  mutable install_fault : (unit -> bool) option;
 }
 
 type handle = int
@@ -20,6 +24,8 @@ type handle = int
 let m_installs = Obs.Metrics.counter "tor.vrf.installs"
 let m_removes = Obs.Metrics.counter "tor.vrf.removes"
 let m_install_entries = Obs.Metrics.summary "tor.vrf.install_entries"
+let m_install_faults = Obs.Metrics.counter "tor.tcam.install_faults"
+let m_soft_errors = Obs.Metrics.counter "tor.tcam.soft_errors"
 
 let create ~tenant ~tcam =
   {
@@ -29,15 +35,28 @@ let create ~tenant ~tcam =
     tunnels = Rules.Tunnel_rule.Map.create ();
     tunnel_refcounts = Hashtbl.create 16;
     next_id = 0;
+    install_fault = None;
   }
 
 let tenant t = t.tenant
+let set_install_fault t hook = t.install_fault <- hook
 
 let ip_key ip = Int32.to_int (Netcore.Ipv4.to_int32 ip)
 
 let install t compiled =
   let entries_needed = compiled.Rules.Rule_compiler.tcam_entries in
-  if not (Tcam.reserve t.tcam entries_needed) then Error `Tcam_full
+  let faulted = match t.install_fault with None -> false | Some f -> f () in
+  if faulted then begin
+    (* The hardware write failed: no TCAM entries were consumed, so
+       there is nothing to roll back. *)
+    Obs.Metrics.incr m_install_faults;
+    if Obs.Trace.enabled () then
+      Obs.Trace.emit
+        (Obs.Trace.Tcam_error
+           { tenant = t.tenant; kind = "install_fault"; entries = entries_needed });
+    Error `Install_fault
+  end
+  else if not (Tcam.reserve t.tcam entries_needed) then Error `Tcam_full
   else begin
     let id = t.next_id in
     t.next_id <- id + 1;
@@ -92,6 +111,27 @@ let remove t handle =
         entry.compiled.tunnels
 
 let installed_count t = List.length t.entries
+let is_live t handle = List.exists (fun e -> e.id = handle && e.live) t.entries
+let live_handles t = List.filter_map (fun e -> if e.live then Some e.id else None) t.entries
+
+(* A soft error (bit flip) corrupts one installed entry; the switch
+   parity-scrubs it out, which we model as a silent eviction: the rules
+   and tunnel mappings vanish from the dataplane with no notification
+   to any controller. Only the anti-entropy audit can find and repair
+   the resulting intent/hardware divergence. *)
+let evict_random t ~rng =
+  match t.entries with
+  | [] -> None
+  | entries ->
+      let victim = List.nth entries (Dcsim.Rng.int rng (List.length entries)) in
+      let entries_lost = victim.compiled.Rules.Rule_compiler.tcam_entries in
+      Obs.Metrics.incr m_soft_errors;
+      if Obs.Trace.enabled () then
+        Obs.Trace.emit
+          (Obs.Trace.Tcam_error
+             { tenant = t.tenant; kind = "soft_error"; entries = entries_lost });
+      remove t victim.id;
+      Some victim.id
 
 let permits t flow =
   List.exists

@@ -17,15 +17,40 @@ type handle
 (** Names one installed rule set for later {!remove}. *)
 
 val install :
-  t -> Rules.Rule_compiler.compiled -> (handle, [ `Tcam_full ]) result
+  t ->
+  Rules.Rule_compiler.compiled ->
+  (handle, [ `Tcam_full | `Install_fault ]) result
 (** Install a compiled offload rule set. Fails atomically when the TCAM
-    cannot hold all its entries. *)
+    cannot hold all its entries ([`Tcam_full]) or when the injected
+    install-fault hook fires ([`Install_fault]); neither failure
+    consumes TCAM entries, so there is never anything to roll back. *)
 
 val remove : t -> handle -> unit
 (** Idempotent. *)
 
 val installed_count : t -> int
 (** Live rule sets (installs minus removes). *)
+
+val is_live : t -> handle -> bool
+(** True iff the handle names a currently installed rule set. The
+    anti-entropy audit uses this to detect rules lost to soft errors. *)
+
+val live_handles : t -> handle list
+(** All currently installed handles — the audit's hardware-side view,
+    used to find orphans with no matching controller intent. *)
+
+val set_install_fault : t -> (unit -> bool) option -> unit
+(** Install (or clear) the fault hook consulted before each {!install};
+    returning true fails that install with [`Install_fault], bumps the
+    [tor.tcam.install_faults] counter and emits a [Tcam_error] trace
+    event. [None] (the default) is the reliable path. *)
+
+val evict_random : t -> rng:Dcsim.Rng.t -> handle option
+(** Inject one TCAM soft error: silently evict a uniformly random
+    installed rule set (rules and tunnel mappings vanish with no
+    notification — only the audit can repair the divergence). Returns
+    the evicted handle, or [None] if the VRF is empty. Bumps
+    [tor.tcam.soft_errors] and emits a [Tcam_error] trace event. *)
 
 val permits : t -> Netcore.Fkey.t -> bool
 (** ACL check: true iff some installed allow-pattern covers the flow.

@@ -515,6 +515,8 @@ let receive_from_nic t pkt =
 
 let active_flows t = Flow_stats.to_list t.stats
 
+let blocked_flows t = Fkey.Table.fold (fun flow () acc -> flow :: acc) t.blocked []
+
 let set_flow_blocked t flow blocked =
   (if blocked then Fkey.Table.replace t.blocked flow ()
    else Fkey.Table.remove t.blocked flow);

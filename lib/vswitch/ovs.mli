@@ -94,6 +94,12 @@ val set_flow_blocked : t -> Netcore.Fkey.t -> bool -> unit
     (§6.2.2). Both block and unblock invalidate the flow's entries in
     every VIF cache so the change takes effect on the next packet. *)
 
+val blocked_flows : t -> Netcore.Fkey.t list
+(** Every currently blocked exact flow, in no particular order. A
+    restarted local controller sweeps these to unblock flows whose
+    offload no longer exists (a stale block would blackhole the
+    software path). *)
+
 (** {2 Counters} *)
 
 val packets_sent : t -> int

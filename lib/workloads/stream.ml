@@ -78,6 +78,33 @@ let send_one t =
 
 let rec fill_window t = if send_one t then fill_window t
 
+(* Delivery-progress heartbeats for the no_blackhole monitor: a
+   periodic Flow_progress event carrying cumulative sent/acked bytes.
+   Only armed when tracing is live at start, so untraced runs schedule
+   nothing extra. *)
+let heartbeat_interval = Simtime.span_ms 100.0
+
+let flow_label flow =
+  Printf.sprintf "%s:%d->%s:%d"
+    (Netcore.Ipv4.to_string flow.Fkey.src_ip)
+    flow.Fkey.src_port
+    (Netcore.Ipv4.to_string flow.Fkey.dst_ip)
+    flow.Fkey.dst_port
+
+let start_heartbeat t =
+  if Obs.Trace.enabled () then begin
+    let label = flow_label t.flow in
+    Engine.every t.engine heartbeat_interval (fun () ->
+        if t.running then begin
+          if Obs.Trace.enabled () then
+            Obs.Trace.emit ~now:(Engine.now t.engine)
+              (Obs.Trace.Flow_progress
+                 { flow = label; sent = t.bytes_sent; acked = t.bytes_acked });
+          `Continue
+        end
+        else `Stop)
+  end
+
 let start ~engine ~vm config =
   let flow =
     Fkey.make ~src_ip:(Host.Vm.ip vm) ~dst_ip:config.dst_ip
@@ -118,6 +145,7 @@ let start ~engine ~vm config =
             `Continue
           end
           else `Stop));
+  start_heartbeat t;
   t
 
 let bytes_sent t = t.bytes_sent

@@ -26,6 +26,7 @@ let test_link_delivery_timing () =
     Fabric.Link.create ~engine ~name:"l" ~gbps:10.0
       ~latency:(Simtime.span_us 1.0)
       ~deliver:(fun _ -> arrived := Engine.now engine)
+      ()
   in
   let p = pkt ~payload:1000 (flow ()) in
   let expected_ser =
@@ -44,6 +45,7 @@ let test_link_fifo_contention () =
   let link =
     Fabric.Link.create ~engine ~name:"l" ~gbps:10.0 ~latency:Simtime.span_zero
       ~deliver:(fun p -> order := p.Packet.payload :: !order)
+      ()
   in
   for i = 1 to 5 do
     Fabric.Link.transmit link (pkt ~payload:(1000 + i) (flow ()))
@@ -98,7 +100,7 @@ let test_vrf_install_permits () =
   let handle =
     match Tor.Vrf.install vrf (compiled_for ()) with
     | Ok h -> h
-    | Error `Tcam_full -> Alcotest.fail "unexpected tcam full"
+    | Error (`Tcam_full | `Install_fault) -> Alcotest.fail "unexpected tcam full"
   in
   checkb "permits after install" true (Tor.Vrf.permits vrf (flow ()));
   checkb "other flow still denied" false (Tor.Vrf.permits vrf (flow ~dport:22 ()));
@@ -116,7 +118,7 @@ let test_vrf_tcam_full () =
   let tcam = Tor.Tcam.create ~capacity:1 in
   let vrf = Tor.Vrf.create ~tenant ~tcam in
   (match Tor.Vrf.install vrf (compiled_for ()) with
-  | Error `Tcam_full -> ()
+  | Error (`Tcam_full | `Install_fault) -> ()
   | Ok _ -> Alcotest.fail "must not fit");
   checki "atomic failure" 0 (Tor.Tcam.used tcam)
 
@@ -138,6 +140,7 @@ let test_qos_strict_priority () =
   let link =
     Fabric.Link.create ~engine ~name:"l" ~gbps:10.0 ~latency:Simtime.span_zero
       ~deliver:(fun p -> order := p.Packet.payload :: !order)
+      ()
   in
   let q = Tor.Qos_queue.create ~engine ~classes:4 ~link ~gbps:10.0 in
   (* First packet starts transmitting immediately; the rest queue and
@@ -416,7 +419,7 @@ let test_sriov_vf_exhaustion () =
   let host_pool = Compute.Cpu_pool.create ~engine ~cpus:2 ~name:"h" in
   let wire =
     Fabric.Link.create ~engine ~name:"w" ~gbps:10.0 ~latency:Simtime.span_zero
-      ~deliver:(fun _ -> ())
+      ~deliver:(fun _ -> ()) ()
   in
   let nic = Nic.Sriov.create ~engine ~max_vfs:2 ~host_pool ~wire () in
   let alloc i =
@@ -438,7 +441,7 @@ let test_sriov_steering () =
   let host_pool = Compute.Cpu_pool.create ~engine ~cpus:2 ~name:"h" in
   let wire =
     Fabric.Link.create ~engine ~name:"w" ~gbps:10.0 ~latency:Simtime.span_zero
-      ~deliver:(fun _ -> ())
+      ~deliver:(fun _ -> ()) ()
   in
   let nic = Nic.Sriov.create ~engine ~host_pool ~wire () in
   let got = ref 0 in
@@ -469,6 +472,7 @@ let test_sriov_vlan_tag_on_tx () =
   let wire =
     Fabric.Link.create ~engine ~name:"w" ~gbps:10.0 ~latency:Simtime.span_zero
       ~deliver:(fun p -> tagged := Packet.vlan_of p)
+      ()
   in
   let nic = Nic.Sriov.create ~engine ~host_pool ~wire () in
   let vf =

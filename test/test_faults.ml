@@ -54,6 +54,60 @@ let test_schedule_roundtrip () =
     ];
   checks "none renders" "none" (Schedule.to_string Schedule.none)
 
+(* Property: to_string is a fixpoint under of_string for any schedule —
+   whatever combination of dimensions is set, the canonical rendering
+   re-parses to a schedule that renders identically. Values are drawn
+   from a Dcsim.Rng stream so each case is a pure function of its
+   QCheck seed; millisecond/percent granularity keeps the printed
+   floats exact. *)
+let prop_schedule_roundtrip =
+  let schedule_of_seed seed =
+    let rng = Rng.create ~seed in
+    let pct () = float_of_int (Rng.int rng 101) /. 100.0 in
+    let windows =
+      List.init (Rng.int rng 3) (fun _ ->
+          let from_s = float_of_int (Rng.int rng 2000) /. 1000.0 in
+          let width = float_of_int (1 + Rng.int rng 2000) /. 1000.0 in
+          {
+            Schedule.down_from = Simtime.of_sec from_s;
+            down_until = Simtime.of_sec (from_s +. width);
+          })
+    in
+    let triggers =
+      List.init (Rng.int rng 3) (fun _ ->
+          {
+            Schedule.fire_at =
+              Simtime.of_sec (float_of_int (Rng.int rng 3000) /. 1000.0);
+            drop_next = 1 + Rng.int rng 9;
+          })
+    in
+    {
+      (* At least 1% drop so the schedule is never [none] — "none"
+         is profile vocabulary, not of_string syntax. *)
+      Schedule.drop = float_of_int (1 + Rng.int rng 100) /. 100.0;
+      duplicate = pct ();
+      reorder = pct ();
+      jitter = Simtime.span_us (float_of_int (Rng.int rng 1000));
+      windows;
+      triggers;
+      tcam_install_fail = pct ();
+      tcam_soft_error = pct ();
+    }
+  in
+  QCheck.Test.make ~count:100 ~name:"schedule to_string/of_string round-trip"
+    (QCheck.int_range 0 100_000)
+    (fun seed ->
+      let s = schedule_of_seed seed in
+      let rendered = Schedule.to_string s in
+      match Schedule.of_string rendered with
+      | Error e -> QCheck.Test.fail_reportf "%S failed to re-parse: %s" rendered e
+      | Ok s' ->
+          let rerendered = Schedule.to_string s' in
+          if rerendered <> rendered then
+            QCheck.Test.fail_reportf "not a fixpoint: %S re-rendered as %S"
+              rendered rerendered;
+          true)
+
 let test_schedule_profiles () =
   checkb "none is none" true
     (match Schedule.profile "none" with Ok s -> Schedule.is_none s | Error _ -> false);
@@ -180,7 +234,8 @@ let test_latest_seq_wins () =
   let acks = ref [] in
   Fastrak.Local_controller.set_uplink local (function
     | Fastrak.Local_controller.Ack { seq; _ } -> acks := seq :: !acks
-    | Fastrak.Local_controller.Report _ -> ());
+    | Fastrak.Local_controller.Report _ | Fastrak.Local_controller.Resync _ ->
+        ());
   let a_ip = Host.Vm.ip a.Host.Server.vm in
   let flow =
     Fkey.make ~src_ip:a_ip
@@ -417,6 +472,7 @@ let suite =
     t "schedule parse" test_schedule_parse;
     t "schedule rejects bad specs" test_schedule_rejects;
     t "schedule round-trips" test_schedule_roundtrip;
+    QCheck_alcotest.to_alcotest prop_schedule_roundtrip;
     t "schedule profiles" test_schedule_profiles;
     t "injector deterministic" test_injector_deterministic;
     t "injector link-down window" test_injector_window;

@@ -13,6 +13,7 @@ let () =
       ("flow_cache", Test_flow_cache.suite);
       ("fastrak", Test_fastrak.suite);
       ("faults", Test_faults.suite);
+      ("failover", Test_failover.suite);
       ("obs", Test_obs.suite);
       ("workloads", Test_workloads.suite);
     ]
