@@ -214,6 +214,31 @@ let run_cmd =
              is a full testbed on its own engine shard; rack 1 degenerates \
              to the classic single-engine loop.")
   in
+  let flight_recorder =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "flight-recorder" ] ~docv:"N"
+          ~doc:
+            "Keep the last $(docv) trace events in an always-on in-memory \
+             ring (the flight recorder). The ring is dumped as JSONL to \
+             $(b,flight.jsonl) when a strict monitor stops the run, and at \
+             the end of a clean run; the dump feeds $(b,trace-export) like \
+             any trace. Recording costs nanoseconds per event and no \
+             steady-state allocation, so it is safe to leave on for any \
+             run. $(b,0) (the default) disables it.")
+  in
+  let tenant_report =
+    Arg.(
+      value & flag
+      & info [ "tenant-report" ]
+          ~doc:
+            "After each experiment, print the per-tenant SLO scoreboard: \
+             achieved goodput and p99 request latency against the \
+             contracted FPS limits, with a per-tenant verdict. With \
+             $(b,--monitors), an SLO breach is also reported as a \
+             $(b,tenant_slo) monitor violation.")
+  in
   let monitors =
     let parse = function
       | "off" -> Ok `Off
@@ -240,7 +265,7 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const (fun scale trace faults metrics_out timeseries_out cache_capacity
-                 racks monitors ids ->
+                 racks monitors flight_recorder tenant_report ids ->
           Experiments.Memcached_eval.requests_scale := scale;
           (match racks with
           | None -> ()
@@ -303,22 +328,53 @@ let run_cmd =
                 Obs.Monitor.attach mon;
                 Some mon
           in
+          (* Installed last so the recorder sees each event before the
+             monitors do: when a strict monitor stops the run, the
+             offending event is already in the ring. *)
+          if flight_recorder < 0 then begin
+            Printf.eprintf "fastrak_sim: --flight-recorder must be >= 0\n";
+            Stdlib.exit 1
+          end;
+          if flight_recorder > 0 then
+            Obs.Flight.install ~dump_path:"flight.jsonl"
+              (Obs.Flight.create ~capacity:flight_recorder ());
+          let dump_flight ~out =
+            match Obs.Flight.dump_installed () with
+            | Some (path, n) ->
+                Printf.fprintf out "flight recorder: %d event(s) -> %s\n" n
+                  path
+            | None -> ()
+          in
           let ids =
             if List.mem "all" ids then List.map fst experiments else ids
           in
           (try
              List.iter
                (fun id ->
-                 Experiments.Metric_snapshot.record ~id (fun () -> run_one id))
+                 Obs.Slo.reset ();
+                 Experiments.Metric_snapshot.record ~id (fun () -> run_one id);
+                 if tenant_report then begin
+                   print_newline ();
+                   print_string (Obs.Slo.report ());
+                   match monitor with
+                   | Some mon -> Obs.Slo.check mon ~at:(Obs.Trace.now ())
+                   | None -> ()
+                 end)
                ids
            with
           | Obs.Monitor.Strict_violation v ->
               Printf.eprintf "fastrak_sim: monitor violation: %s\n"
                 (Obs.Monitor.violation_to_string v);
+              let ctx = Obs.Monitor.context_to_string v in
+              if ctx <> "" then Printf.eprintf "%s" ctx;
+              dump_flight ~out:stderr;
               Stdlib.exit 3
           | Invalid_argument msg ->
               Printf.eprintf "fastrak_sim: %s\n" msg;
               Stdlib.exit 1);
+          (* The dump notice goes to stderr so stdout stays
+             byte-identical to a run without the recorder. *)
+          dump_flight ~out:stderr;
           (match trace_oc with
           | Some oc ->
               Obs.Trace.disable ();
@@ -347,7 +403,7 @@ let run_cmd =
               close_out oc
           | _ -> ())
       $ scale $ trace $ faults $ metrics_out $ timeseries_out $ cache_capacity
-      $ racks $ monitors $ ids)
+      $ racks $ monitors $ flight_recorder $ tenant_report $ ids)
 
 let trace_export_cmd =
   let doc =

@@ -117,6 +117,19 @@ let ts_hard_pps = Obs.Timeseries.series "path.express.pps"
 let c_soft_tx = Obs.Metrics.counter "vswitch.tx_packets"
 let c_hard_tx = Obs.Metrics.counter "nic.vf_tx_packets"
 
+(* Tenant-labeled breakdowns of offload churn. *)
+let fam_promotions =
+  Obs.Metrics.counter_family ~label:"tenant" "fastrak.promotions"
+
+let fam_demotions =
+  Obs.Metrics.counter_family ~label:"tenant" "fastrak.demotions"
+
+(* The per-tenant tx families declared at the vswitch and NIC emitters,
+   re-opened here; their per-interval deltas become the per-tenant pps
+   series "tenant.<id>.pps". *)
+let fam_soft_tx = Obs.Metrics.counter_family ~label:"tenant" "vswitch.tx_packets"
+let fam_hard_tx = Obs.Metrics.counter_family ~label:"tenant" "nic.vf_tx_packets"
+
 type t = {
   engine : Engine.t;
   config : Config.t;
@@ -147,6 +160,9 @@ type t = {
   mutable running : bool;
   (* Last (instant, vswitch tx, VF tx) sample for per-path pps deltas. *)
   mutable ts_prev : (Simtime.t * int * int) option;
+  (* Last combined (vswitch + VF) tx count per tenant, for the
+     per-tenant pps deltas. *)
+  ts_tenant_prev : (int, int) Hashtbl.t;
   (* Pooled working storage reused by every decide call. *)
   decide_scratch : Decision_engine.scratch;
 }
@@ -200,6 +216,7 @@ let create ~engine ~config ~tor ~lookup_vm ?(tenant_priority = fun _ -> 1.0)
       decisions = 0;
       running = false;
       ts_prev = None;
+      ts_tenant_prev = Hashtbl.create 16;
       decide_scratch = Decision_engine.create_scratch ();
     }
   in
@@ -423,6 +440,9 @@ and mark_dead t peer =
 and apply_demote t os ~reason =
   t.offloaded <- List.filter (fun x -> x != os) t.offloaded;
   Obs.Metrics.incr m_demotions;
+  Obs.Metrics.incr
+    (Obs.Metrics.labeled_counter fam_demotions
+       (Netcore.Tenant.to_int os.os_tenant));
   Obs.Metrics.set_gauge m_offloaded_current
     (float_of_int (List.length t.offloaded));
   if Obs.Trace.enabled () then
@@ -533,6 +553,9 @@ let apply_offload t (c : Decision_engine.candidate) ~server =
                     ();
                   t.offloaded <- state :: t.offloaded;
                   Obs.Metrics.incr m_promotions;
+                  Obs.Metrics.incr
+                    (Obs.Metrics.labeled_counter fam_promotions
+                       (Netcore.Tenant.to_int c.tenant));
                   Obs.Metrics.set_gauge m_offloaded_current
                     (float_of_int (List.length t.offloaded));
                   Obs.Metrics.observe m_offload_score c.score;
@@ -564,9 +587,18 @@ let apply_offload t (c : Decision_engine.candidate) ~server =
                       | `Acked ->
                           state.os_status <- Installed;
                           let now = Engine.now t.engine in
-                          if Obs.Timeseries.enabled () then
-                            Obs.Timeseries.observe ts_install
-                              (Simtime.span_to_us (Simtime.diff now state.os_created));
+                          if Obs.Timeseries.enabled () then begin
+                            let lat =
+                              Simtime.span_to_us
+                                (Simtime.diff now state.os_created)
+                            in
+                            Obs.Timeseries.observe ts_install lat;
+                            Obs.Timeseries.observe
+                              (Obs.Timeseries.series
+                                 (Printf.sprintf "tenant.%d.install_latency_us"
+                                    (Netcore.Tenant.to_int state.os_tenant)))
+                              lat
+                          end;
                           Obs.Span.finish ~now state.os_install_span
                             ~outcome:"installed";
                           state.os_install_span <- Obs.Span.none
@@ -716,9 +748,32 @@ let receive_uplink t = function
   | Local_controller.Ack { server; seq } -> handle_ack t ~server ~seq
   | Local_controller.Resync { server } -> handle_resync t ~server
 
-(* One timeseries sample per control interval: TCAM occupancy and
-   per-path pps (counter deltas over the elapsed sim time), then a tick
-   that snapshots every series' quantiles. *)
+(* Per-tenant pps over one control interval: combined vswitch + VF tx
+   deltas per tenant, fed into dynamically named "tenant.<id>.pps"
+   series. Runs once per interval (not per packet), so the string
+   building and list walks here are off the hot path. *)
+let sample_tenant_pps t ~dt =
+  let totals = Hashtbl.create 16 in
+  List.iter
+    (fun (tenant, n) ->
+      Hashtbl.replace totals tenant
+        (n + Option.value ~default:0 (Hashtbl.find_opt totals tenant)))
+    (Obs.Metrics.labeled_counter_values fam_soft_tx
+    @ Obs.Metrics.labeled_counter_values fam_hard_tx);
+  Hashtbl.iter
+    (fun tenant total ->
+      let prev =
+        Option.value ~default:0 (Hashtbl.find_opt t.ts_tenant_prev tenant)
+      in
+      Obs.Timeseries.observe
+        (Obs.Timeseries.series (Printf.sprintf "tenant.%d.pps" tenant))
+        (float_of_int (total - prev) /. dt);
+      Hashtbl.replace t.ts_tenant_prev tenant total)
+    totals
+
+(* One timeseries sample per control interval: TCAM occupancy,
+   per-path and per-tenant pps (counter deltas over the elapsed sim
+   time), then a tick that snapshots every series' quantiles. *)
 let sample_timeseries t =
   let now = Engine.now t.engine in
   Obs.Timeseries.observe ts_tcam
@@ -730,7 +785,8 @@ let sample_timeseries t =
       let dt = Simtime.span_to_sec (Simtime.diff now prev_t) in
       if dt > 0.0 then begin
         Obs.Timeseries.observe ts_soft_pps (float_of_int (soft - prev_soft) /. dt);
-        Obs.Timeseries.observe ts_hard_pps (float_of_int (hard - prev_hard) /. dt)
+        Obs.Timeseries.observe ts_hard_pps (float_of_int (hard - prev_hard) /. dt);
+        sample_tenant_pps t ~dt
       end
   | None -> ());
   t.ts_prev <- Some (now, soft, hard);

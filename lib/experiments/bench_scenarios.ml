@@ -319,6 +319,59 @@ let obs_timeseries_case ~smoke =
     ~params:[ ("samples", float_of_int n) ]
     ~ops:n timed
 
+let obs_flight_case ~smoke =
+  let n = if smoke then 20_000 else 1_000_000 in
+  let capacity = 4096 in
+  let now = Simtime.of_ns 1_000 in
+  let ring = Obs.Flight.create ~capacity () in
+  (* One preallocated event re-recorded n times: prices the ring's
+     record step alone (two array stores and an index bump) — the
+     recorder receives already-constructed events from the tee, so
+     this is exactly its steady-state per-event cost. *)
+  let ev =
+    Obs.Trace.Fps_split
+      {
+        vm_ip = ip_of_index 9;
+        direction = Obs.Trace.Tx;
+        soft_bps = 1e8;
+        hard_bps = 1e9;
+        total_bps = 1e9;
+        overflow_bps = 5e7;
+      }
+  in
+  let run_scenario () =
+    for _ = 1 to n do
+      Obs.Flight.record ring now ev
+    done
+  in
+  let min_time = if smoke then 0.02 else 0.2 in
+  let timed = time_runs ~min_time run_scenario in
+  mk_result ~scenario:"flight-record" ~unit_:"event"
+    ~params:
+      [ ("capacity", float_of_int capacity); ("events", float_of_int n) ]
+    ~ops:n timed
+
+let obs_labeled_case ~smoke =
+  let n = if smoke then 20_000 else 1_000_000 in
+  (* A local registry so the bench family does not pollute the default
+     registry (whose contents the metrics-doc check audits). Eight keys
+     round-robin: after the first lap every increment takes the
+     already-seen path — one int-keyed hash probe. *)
+  let registry = Obs.Metrics.create () in
+  let fam =
+    Obs.Metrics.counter_family ~registry ~label:"tenant" "bench.labeled"
+  in
+  let run_scenario () =
+    for i = 0 to n - 1 do
+      Obs.Metrics.incr (Obs.Metrics.labeled_counter fam (i land 7))
+    done
+  in
+  let min_time = if smoke then 0.02 else 0.2 in
+  let timed = time_runs ~min_time run_scenario in
+  mk_result ~scenario:"labeled-counter-incr" ~unit_:"incr"
+    ~params:[ ("series", 8.0); ("increments", float_of_int n) ]
+    ~ops:n timed
+
 let run_obs ~smoke =
   let null = open_out "/dev/null" in
   let results =
@@ -334,6 +387,8 @@ let run_obs ~smoke =
         ~teardown:(fun () -> Obs.Trace.disable ());
       obs_span_case ~smoke;
       obs_timeseries_case ~smoke;
+      obs_flight_case ~smoke;
+      obs_labeled_case ~smoke;
     ]
   in
   close_out null;
@@ -622,6 +677,11 @@ let alloc_check () =
       ("hotpath/packed-of-fkey", 8.0);
       ("hotpath/rule-cache-hit", zero_bar);
       ("decide/10000c-2000o", 68297.8);
+      (* The always-on observability hot paths: recording into the
+         flight ring and bumping an already-seen labeled series must
+         both be allocation-free. *)
+      ("flight-record", zero_bar);
+      ("labeled-counter-incr", zero_bar);
     ]
   in
   let results =
@@ -629,6 +689,8 @@ let alloc_check () =
     @ [
         decision_case ~smoke:true ~with_baseline:false ~candidates:10_000
           ~offloaded:2_000;
+        obs_flight_case ~smoke:true;
+        obs_labeled_case ~smoke:true;
       ]
   in
   List.filter_map

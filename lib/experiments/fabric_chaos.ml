@@ -86,6 +86,10 @@ type result = {
   lanes_total : int;
   offloaded_at_end : int;
   crash_outcome : string;
+  (* Compact flight-recorder snapshot captured at the crash instant
+     (Obs.Flight.to_compact), when a recorder was installed and the
+     scripted crash fired; decode with Obs.Flight.of_compact. *)
+  crash_flight : string option;
   reconciled : bool;
 }
 
@@ -375,6 +379,7 @@ let run ?(config = default_config) () =
      reconciles against the surviving dataplane, and resyncs with the
      TOR controller. *)
   let snap = ref None in
+  let crash_flight = ref None in
   let crash_armed =
     cfg.crash_at > 0.0 && cfg.crash_at < cfg.duration
   in
@@ -393,6 +398,13 @@ let run ?(config = default_config) () =
            (Simtime.of_sec cfg.crash_at)
            (fun () ->
              snap := Some (Fastrak.Local_controller.snapshot lc);
+             (* Black-box capture at the instant of failure: freeze the
+                recorder's view of the run so far (compact snapshot for
+                the result record) and write the JSONL dump. *)
+             (match Obs.Flight.installed () with
+             | Some ring -> crash_flight := Some (Obs.Flight.to_compact ring)
+             | None -> ());
+             ignore (Obs.Flight.dump_installed ());
              Fastrak.Local_controller.crash lc));
       if cfg.restart_at > cfg.crash_at && cfg.restart_at < cfg.duration then
         ignore
@@ -486,6 +498,7 @@ let run ?(config = default_config) () =
     lanes_total;
     offloaded_at_end = sum (fun rk -> Fastrak.Rule_manager.offloaded_count (rm rk));
     crash_outcome;
+    crash_flight = !crash_flight;
     reconciled;
   }
 
@@ -519,6 +532,16 @@ let print r =
     r.audit_sweeps r.audit_reinstalls r.audit_orphans r.static_reinstalls
     r.resyncs;
   Printf.printf "  controller crash: %s\n" r.crash_outcome;
+  (match r.crash_flight with
+  | Some compact ->
+      let n =
+        match Obs.Flight.of_compact compact with
+        | Some events -> List.length events
+        | None -> 0
+      in
+      Printf.printf "  crash flight recorder: %d event(s), %d B compact\n" n
+        (String.length compact)
+  | None -> ());
   Printf.printf
     "  core routed/dropped: %d/%d; tor acl drops: %d; tor no-route: %d\n"
     r.core_routed r.core_dropped r.acl_drops r.no_route_drops;

@@ -65,6 +65,12 @@ type result = {
   lanes_total : int;
   offloaded_at_end : int;
   crash_outcome : string;
+  crash_flight : string option;
+      (** Compact flight-recorder snapshot ({!Obs.Flight.to_compact})
+          captured at the instant of the scripted crash — the
+          black-box record of what led up to the failure. [None]
+          unless a recorder was installed and the crash fired. Decode
+          with {!Obs.Flight.of_compact}. *)
   reconciled : bool;
 }
 

@@ -80,6 +80,12 @@ let add_vm t spec =
       ~rx_limit:spec.rx_limit ()
   in
   Rules.Policy.add_acl policy (Rules.Security_rule.allow_all spec.tenant);
+  (* Placing a VM registers its contracted tx rate with the SLO
+     scoreboard: one add per VM, summed per tenant (an unlimited VM
+     absorbs the tenant's sum into "unlimited"). *)
+  Obs.Slo.add_contract
+    ~tenant:(Netcore.Tenant.to_int spec.tenant)
+    ~tx_bps:spec.tx_limit.Rules.Rate_limit_spec.rate_bps ();
   (* Extra specific rules to exercise slow-path scan cost: allow rules
      on distinct ports that real traffic never matches first. *)
   for i = 1 to spec.acl_count do

@@ -6,7 +6,15 @@ let m_drops = Obs.Metrics.counter "fabric.core.no_route_drops"
 let m_port_drops = Obs.Metrics.counter "fabric.core.port_drops"
 let m_port_dups = Obs.Metrics.counter "fabric.core.port_dups"
 
-type port = { downlink : Packet.t Channel.t; faults : Faults.Injector.t option }
+(* Per-rack breakdown of [fabric.core.routed], keyed on the rack index
+   assigned when the rack's downlink was attached. *)
+let fam_routed = Obs.Metrics.counter_family ~label:"rack" "fabric.core.routed"
+
+type port = {
+  downlink : Packet.t Channel.t;
+  faults : Faults.Injector.t option;
+  rack : int;  (* attach order; the [fam_routed] label key *)
+}
 
 type t = {
   core_name : string;
@@ -32,7 +40,8 @@ let create ~engine ?(name = "core") () =
 let ip_key addr = Int32.to_int (Ipv4.to_int32 addr)
 
 let attach_rack t ?faults ~tor_ip ~downlink () =
-  Hashtbl.replace t.downlinks (ip_key tor_ip) { downlink; faults }
+  let rack = Hashtbl.length t.downlinks in
+  Hashtbl.replace t.downlinks (ip_key tor_ip) { downlink; faults; rack }
 
 let register_server t ~server_ip ~tor_ip =
   Hashtbl.replace t.server_rack (ip_key server_ip) (ip_key tor_ip)
@@ -74,6 +83,7 @@ let forward t key pkt =
   | Some port ->
       t.routed <- t.routed + 1;
       Obs.Metrics.incr m_routed;
+      Obs.Metrics.incr (Obs.Metrics.labeled_counter fam_routed port.rack);
       port_out t port pkt
   | None -> drop t
 

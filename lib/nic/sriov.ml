@@ -7,6 +7,14 @@ let m_vf_tx = Obs.Metrics.counter "nic.vf_tx_packets"
 let m_vf_rx = Obs.Metrics.counter "nic.vf_rx_packets"
 let m_steering_drops = Obs.Metrics.counter "nic.steering_drops"
 
+(* Per-tenant breakdowns of the VF datapath counters; an already-seen
+   tenant costs one int-keyed hash probe, so these stay on
+   unconditionally. [nic.vf_rx_bytes] doubles as the SLO goodput feed
+   for express-lane traffic. *)
+let fam_vf_tx = Obs.Metrics.counter_family ~label:"tenant" "nic.vf_tx_packets"
+let fam_vf_rx = Obs.Metrics.counter_family ~label:"tenant" "nic.vf_rx_packets"
+let fam_vf_rx_bytes = Obs.Metrics.counter_family ~label:"tenant" "nic.vf_rx_bytes"
+
 type vf = {
   mac : Netcore.Mac.t;
   vlan : int;
@@ -94,6 +102,8 @@ let vf_vlan vf = vf.vlan
 
 let transmit_from_vf vf pkt =
   Obs.Metrics.incr m_vf_tx;
+  Obs.Metrics.incr
+    (Obs.Metrics.labeled_counter fam_vf_tx (vf.tenant :> int));
   Packet.push_encap pkt (Packet.Vlan vf.vlan);
   Shaping.Shaper.enqueue vf.tx_shaper pkt
 
@@ -105,6 +115,12 @@ let receive_from_wire t pkt =
       | vf ->
           ignore (Packet.pop_encap pkt);
           Obs.Metrics.incr m_vf_rx;
+          let tenant = (vf.tenant :> int) in
+          Obs.Metrics.incr (Obs.Metrics.labeled_counter fam_vf_rx tenant);
+          Obs.Metrics.add
+            (Obs.Metrics.labeled_counter fam_vf_rx_bytes tenant)
+            pkt.Packet.payload;
+          Obs.Slo.observe_goodput ~tenant pkt.Packet.payload;
           Shaping.Shaper.enqueue vf.rx_shaper pkt
       | exception Not_found ->
           t.dropped <- t.dropped + 1;

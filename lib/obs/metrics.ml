@@ -11,9 +11,42 @@ type instrument =
   | Summary of summary
   | Histogram of histogram
 
-type t = (string, instrument) Hashtbl.t
+type t = {
+  instruments : (string, instrument) Hashtbl.t;
+  (* Labeled families declared against this registry: (base name,
+     label key), newest first. Families register their per-value
+     series in [instruments] under "base{label=\"value\"}" names; this
+     list remembers the bases themselves so tooling (the METRICS.md
+     drift check) can enumerate them even before any value is seen. *)
+  mutable family_names : (string * string) list;
+  (* Family handles by base name, so re-declaring a family anywhere in
+     the program returns the one shared handle (and hence one shared
+     key cache — [labeled_counter_values] sees every key no matter
+     which call site touched it). *)
+  c_families : (string, counter family) Hashtbl.t;
+  g_families : (string, gauge family) Hashtbl.t;
+}
 
-let create () : t = Hashtbl.create 64
+(* A bounded set of per-label-value series sharing one base name; see
+   the "Labeled families" section below for the operations. *)
+and 'i family = {
+  f_registry : t;
+  f_name : string;
+  f_label : string;
+  f_render : int -> string;
+  f_max : int;
+  f_cache : (int, 'i) Hashtbl.t;
+  mutable f_overflow : 'i option;
+  f_get : t -> string -> 'i;
+}
+
+let create () : t =
+  {
+    instruments = Hashtbl.create 64;
+    family_names = [];
+    c_families = Hashtbl.create 8;
+    g_families = Hashtbl.create 8;
+  }
 let default : t = create ()
 
 let kind_name = function
@@ -23,7 +56,7 @@ let kind_name = function
   | Histogram _ -> "histogram"
 
 let get_or_create registry name ~make ~select =
-  match Hashtbl.find_opt registry name with
+  match Hashtbl.find_opt registry.instruments name with
   | Some existing -> (
       match select existing with
       | Some i -> i
@@ -33,7 +66,7 @@ let get_or_create registry name ~make ~select =
                (kind_name existing)))
   | None ->
       let i = make () in
-      Hashtbl.replace registry name
+      Hashtbl.replace registry.instruments name
         (match i with
         | `C c -> Counter c
         | `G g -> Gauge g
@@ -88,6 +121,132 @@ let histogram ?(registry = default) name =
 
 let record h v = Stats.Histogram.add h v
 
+(* --- Labeled families ---
+
+   A family is a bounded set of per-label-value series sharing one base
+   name, registered in the ordinary instrument table under
+   "base{label=\"value\"}". Values are keyed by int on the hot path
+   (tenant ids, rack indexes, path ranks) so the steady-state lookup is
+   one int-keyed Hashtbl.find — no string building, no allocation.
+   Once [max_series] distinct values exist, further values share one
+   overflow series labeled "__other__", keeping cardinality bounded no
+   matter what the workload does. *)
+
+type counter_family = counter family
+type gauge_family = gauge family
+
+let overflow_label = "__other__"
+
+let escape_label v =
+  if
+    String.for_all (fun c -> c <> '"' && c <> '\\' && c <> '\n' && c <> '}') v
+  then v
+  else begin
+    let b = Buffer.create (String.length v + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | '}' -> Buffer.add_string b "\\}"
+        | c -> Buffer.add_char b c)
+      v;
+    Buffer.contents b
+  end
+
+let labeled_name name label value =
+  Printf.sprintf "%s{%s=\"%s\"}" name label (escape_label value)
+
+let base_name name =
+  match String.index_opt name '{' with
+  | Some i -> String.sub name 0 i
+  | None -> name
+
+(* Get-or-create on [table]: a family declared under one name anywhere
+   in the program is the same family everywhere (one shared key cache),
+   so a module sampling [labeled_counter_values] sees keys touched at
+   every other call site. The first declaration fixes the render and
+   the cardinality bound; a re-open only has to agree on the label. *)
+let make_family table registry max_series label render get name =
+  if max_series < 1 then
+    invalid_arg "Obs.Metrics: max_series must be >= 1";
+  match Hashtbl.find_opt table name with
+  | Some fam ->
+      if not (String.equal fam.f_label label) then
+        invalid_arg
+          (Printf.sprintf
+             "Obs.Metrics: family %S already declared with label %S" name
+             fam.f_label);
+      fam
+  | None ->
+      if
+        not
+          (List.exists
+             (fun (n, _) -> String.equal n name)
+             registry.family_names)
+      then registry.family_names <- (name, label) :: registry.family_names;
+      let fam =
+        {
+          f_registry = registry;
+          f_name = name;
+          f_label = label;
+          f_render = render;
+          f_max = max_series;
+          f_cache = Hashtbl.create 16;
+          f_overflow = None;
+          f_get = get;
+        }
+      in
+      Hashtbl.replace table name fam;
+      fam
+
+let counter_family ?(registry = default) ?(max_series = 64) ~label
+    ?(render = string_of_int) name =
+  make_family registry.c_families registry max_series label render
+    (fun reg n -> counter ~registry:reg n)
+    name
+
+let gauge_family ?(registry = default) ?(max_series = 64) ~label
+    ?(render = string_of_int) name =
+  make_family registry.g_families registry max_series label render
+    (fun reg n -> gauge ~registry:reg n)
+    name
+
+let labeled fam key =
+  try Hashtbl.find fam.f_cache key
+  with Not_found ->
+    if Hashtbl.length fam.f_cache >= fam.f_max then (
+      match fam.f_overflow with
+      | Some i -> i
+      | None ->
+          let i =
+            fam.f_get fam.f_registry
+              (labeled_name fam.f_name fam.f_label overflow_label)
+          in
+          fam.f_overflow <- Some i;
+          i)
+    else begin
+      let i =
+        fam.f_get fam.f_registry
+          (labeled_name fam.f_name fam.f_label (fam.f_render key))
+      in
+      Hashtbl.replace fam.f_cache key i;
+      i
+    end
+
+let labeled_counter (fam : counter_family) key = labeled fam key
+let labeled_gauge (fam : gauge_family) key = labeled fam key
+
+let labeled_counter_values (fam : counter_family) =
+  Hashtbl.fold (fun key c acc -> (key, c.c) :: acc) fam.f_cache []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let family_names ?(registry = default) () =
+  List.sort
+    (fun (a, _) (b, _) -> String.compare a b)
+    registry.family_names
+
 type value =
   | Counter_v of int
   | Gauge_v of float
@@ -128,11 +287,13 @@ let value_of = function
         }
 
 let snapshot ?(registry = default) () =
-  Hashtbl.fold (fun name i acc -> (name, value_of i) :: acc) registry []
+  Hashtbl.fold
+    (fun name i acc -> (name, value_of i) :: acc)
+    registry.instruments []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let find ?(registry = default) name =
-  Option.map value_of (Hashtbl.find_opt registry name)
+  Option.map value_of (Hashtbl.find_opt registry.instruments name)
 
 let diff ~before ~after =
   List.filter_map
@@ -229,4 +390,4 @@ let reset ?(registry = default) () =
       | Gauge g -> g.g <- 0.0
       | Summary s -> Stats.Summary.clear s
       | Histogram h -> Stats.Histogram.clear h)
-    registry
+    registry.instruments

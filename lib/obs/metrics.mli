@@ -61,6 +61,73 @@ val histogram : ?registry:t -> string -> histogram
 
 val record : histogram -> float -> unit
 
+(** {1 Labeled families}
+
+    A family is a bounded set of per-label-value series sharing one
+    base name — the dimensional breakdown (per tenant, per rack, per
+    path) the flat instruments above cannot express. Each series is an
+    ordinary registry instrument named [base{label=<value>}] with the
+    value in double quotes, Prometheus-style (so snapshots, dumps and
+    resets see it like any other), but the hot
+    path addresses series by {e integer} key — a tenant id, a rack
+    index, a path rank — so the steady-state lookup is one int-keyed
+    hash probe with no string building and no allocation.
+
+    Cardinality is bounded: after [max_series] distinct keys (default
+    64), every further key shares one overflow series labeled
+    [__other__]. Label values rendered from keys are escaped before
+    they enter the series name (double quote, backslash, newline and
+    closing brace), so a hostile renderer cannot forge names. *)
+
+type counter_family
+
+val counter_family :
+  ?registry:t ->
+  ?max_series:int ->
+  label:string ->
+  ?render:(int -> string) ->
+  string ->
+  counter_family
+(** Declare (or re-open) the counter family [name] keyed on [label].
+    [render] turns the integer key into the label value (default
+    [string_of_int]). Re-opening an already-declared family returns
+    the {e same} handle — one shared key cache, so
+    {!labeled_counter_values} sees keys touched at every call site —
+    keeping the first declaration's render and cardinality bound; the
+    label must agree. Raises [Invalid_argument] when [max_series < 1]
+    or on a label mismatch. *)
+
+val labeled_counter : counter_family -> int -> counter
+(** The series for one key — get-or-create, overflow-bounded. Cache the
+    handle when the key is static; the lookup itself is allocation-free
+    for already-seen keys, so per-packet call sites may also just call
+    this every time. *)
+
+val labeled_counter_values : counter_family -> (int * int) list
+(** Current [(key, count)] of every non-overflow series, sorted by key
+    (the per-tenant pps sampler and the SLO scoreboard read these). *)
+
+type gauge_family
+
+val gauge_family :
+  ?registry:t ->
+  ?max_series:int ->
+  label:string ->
+  ?render:(int -> string) ->
+  string ->
+  gauge_family
+
+val labeled_gauge : gauge_family -> int -> gauge
+
+val family_names : ?registry:t -> unit -> (string * string) list
+(** Every declared family as [(base name, label)], sorted by base name
+    — how the METRICS.md drift check enumerates families that have not
+    seen a value yet. *)
+
+val base_name : string -> string
+(** Strip the [{label=...}] suffix of a labeled series name (plain
+    names pass through). *)
+
 (** {1 Snapshots and dumps} *)
 
 type value =

@@ -6,6 +6,7 @@ type violation = {
   at : Simtime.t;
   monitor : string;
   detail : string;
+  context : (Simtime.t * Trace.event) list;
 }
 
 exception Strict_violation of violation
@@ -34,10 +35,11 @@ type t = {
   migrations : (string, mg_state) Hashtbl.t;
   no_blackhole_window : Simtime.span;
   flows : (string, flow_state) Hashtbl.t;
+  context_events : int;
 }
 
 let create ?(mode = Warn)
-    ?(no_blackhole_window = Simtime.span_ms 1000.0) () =
+    ?(no_blackhole_window = Simtime.span_ms 1000.0) ?(context_events = 8) () =
   {
     mode;
     violations_rev = [];
@@ -48,6 +50,7 @@ let create ?(mode = Warn)
     migrations = Hashtbl.create 8;
     no_blackhole_window;
     flows = Hashtbl.create 16;
+    context_events;
   }
 
 let mode t = t.mode
@@ -55,8 +58,34 @@ let mode t = t.mode
 let violation_to_string v =
   Printf.sprintf "[%.6fs] %s: %s" (Simtime.to_sec v.at) v.monitor v.detail
 
+let context_to_string v =
+  if v.context = [] then ""
+  else begin
+    let b = Buffer.create 256 in
+    Buffer.add_string b
+      (Printf.sprintf "  last %d flight-recorder event(s) before the breach:\n"
+         (List.length v.context));
+    List.iter
+      (fun (at, ev) ->
+        Buffer.add_string b "    ";
+        Trace.encode_into b at ev;
+        Buffer.add_char b '\n')
+      v.context;
+    Buffer.contents b
+  end
+
 let violate t ~at ~monitor detail =
-  let v = { at; monitor; detail } in
+  (* Context comes from the installed flight recorder (if any): the
+     last few events leading up to the breach, so a strict-mode exit is
+     debuggable without a full trace. The recorder installs its tee
+     after the monitor's, so it has already recorded the offending
+     event by the time the monitor observes it. *)
+  let context =
+    match Flight.installed () with
+    | Some ring when t.context_events > 0 -> Flight.last ring t.context_events
+    | Some _ | None -> []
+  in
+  let v = { at; monitor; detail; context } in
   t.violations_rev <- v :: t.violations_rev;
   (match Hashtbl.find_opt t.counts monitor with
   | Some r -> incr r
@@ -177,7 +206,23 @@ let observe t at (ev : Trace.event) =
   | Trace.Tcam_error _ ->
       ()
 
-let attach t = Trace.use_tee (fun now ev -> observe t now ev)
+(* The sink-chain epoch at the last attach: a monitor is in the live
+   tee chain exactly while tracing is enabled and no Trace.disable has
+   run since. *)
+let attached_epoch = ref (-1)
+
+let attach t =
+  attached_epoch := Trace.disable_count ();
+  Trace.use_tee (fun now ev -> observe t now ev)
+
+let attached () =
+  Trace.enabled () && !attached_epoch = Trace.disable_count ()
+
+(* Externally detected breaches (e.g. Obs.Slo's end-of-window check)
+   funnel through the same recording, counting and strict-raise path as
+   trace-driven monitors. *)
+let breach t ~at ~monitor detail = violate t ~at ~monitor detail
+
 let violations t = List.rev t.violations_rev
 let total t = List.length t.violations_rev
 let events_checked t = t.checked
@@ -201,7 +246,8 @@ let report t =
       (counts t);
     List.iter
       (fun v ->
-        Buffer.add_string b ("  " ^ violation_to_string v ^ "\n"))
+        Buffer.add_string b ("  " ^ violation_to_string v ^ "\n");
+        Buffer.add_string b (context_to_string v))
       (violations t)
   end;
   Buffer.contents b

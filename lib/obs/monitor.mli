@@ -46,6 +46,11 @@ type violation = {
   at : Dcsim.Simtime.t;
   monitor : string;  (** Monitor name, e.g. ["tcam_capacity"]. *)
   detail : string;  (** Human-readable description of the breach. *)
+  context : (Dcsim.Simtime.t * Trace.event) list;
+      (** The last few events the installed {!Obs.Flight} recorder held
+          when the breach was recorded (oldest first, bounded by
+          [create]'s [context_events]); empty when no recorder is
+          installed. *)
 }
 
 exception Strict_violation of violation
@@ -54,12 +59,18 @@ exception Strict_violation of violation
 
 type t
 
-val create : ?mode:mode -> ?no_blackhole_window:Dcsim.Simtime.span -> unit -> t
+val create :
+  ?mode:mode ->
+  ?no_blackhole_window:Dcsim.Simtime.span ->
+  ?context_events:int ->
+  unit ->
+  t
 (** A fresh monitor with empty state; [mode] defaults to [Warn].
     [no_blackhole_window] bounds how long a flow with demand may go
     without delivery progress (default 1 s — comfortably above the
     worst-case lane-failover time, so a healthy failover never trips
-    it). *)
+    it). [context_events] (default 8) caps how many flight-recorder
+    events each violation record embeds as context; 0 disables. *)
 
 val mode : t -> mode
 
@@ -67,6 +78,14 @@ val attach : t -> unit
 (** Subscribe to the live trace stream in front of the current sink
     ({!Trace.use_tee}): every subsequent event is checked first, then
     forwarded. [Trace.disable] detaches it together with the sink. *)
+
+val attached : unit -> bool
+(** True while some monitor {!attach}ed is still in the live tee chain
+    (no [Trace.disable] since). Emitters that {e schedule extra work}
+    solely to feed an invariant checker — the stream workloads'
+    {!Trace.Flow_progress} heartbeats for [no_blackhole] — gate on
+    this rather than on [Trace.enabled], so a trace file or flight
+    recorder alone never changes what the simulation computes. *)
 
 val observe : t -> Dcsim.Simtime.t -> Trace.event -> unit
 (** Check one event. Exposed so tests and offline tooling can drive a
@@ -82,7 +101,17 @@ val counts : t -> (string * int) list
 val total : t -> int
 val events_checked : t -> int
 
+val breach : t -> at:Dcsim.Simtime.t -> monitor:string -> string -> unit
+(** Record an externally detected violation (the {!Obs.Slo} scoreboard's
+    end-of-window check uses this) through the same counting, context
+    and strict-raise path as trace-driven checks. *)
+
 val violation_to_string : violation -> string
+
+val context_to_string : violation -> string
+(** The violation's embedded flight-recorder context as indented JSONL
+    lines (empty string when there is none). {!report} appends it after
+    each violation line. *)
 
 val report : t -> string
 (** Multi-line summary: events checked, per-monitor counts, and each

@@ -143,37 +143,81 @@ let pattern_of_string s =
 
 (* --- JSONL encoding --- *)
 
-let escape s =
-  if String.for_all (fun c -> c <> '"' && c <> '\\' && c >= ' ') s then s
-  else begin
-    let b = Buffer.create (String.length s + 4) in
+(* All field writers append straight into the caller's buffer: the only
+   per-field allocations left are the payload strings themselves
+   (string_of_int, Ipv4.to_string) and the float formatter — no
+   Printf.sprintf per key, no intermediate escaped copy. *)
+
+let add_escaped b s =
+  if String.for_all (fun c -> c <> '"' && c <> '\\' && c >= ' ') s then
+    Buffer.add_string b s
+  else
     String.iter
       (fun c ->
         match c with
         | '"' -> Buffer.add_string b "\\\""
         | '\\' -> Buffer.add_string b "\\\\"
-        | c when c < ' ' -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c when c < ' ' ->
+            Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
         | c -> Buffer.add_char b c)
-      s;
-    Buffer.contents b
-  end
+      s
 
-let kv_s b k v = Buffer.add_string b (Printf.sprintf ",%S:\"%s\"" k (escape v))
-let kv_i b k v = Buffer.add_string b (Printf.sprintf ",%S:%d" k v)
+(* Keys are literal identifiers, so quoting them needs no escaping. *)
+let key b k =
+  Buffer.add_char b ',';
+  Buffer.add_char b '"';
+  Buffer.add_string b k;
+  Buffer.add_string b "\":"
+
+let kv_s b k v =
+  key b k;
+  Buffer.add_char b '"';
+  add_escaped b v;
+  Buffer.add_char b '"'
+
+let kv_i b k v =
+  key b k;
+  Buffer.add_string b (string_of_int v)
 
 let kv_f b k v =
   (* %.17g round-trips every finite float exactly. *)
-  Buffer.add_string b (Printf.sprintf ",%S:%.17g" k v)
+  key b k;
+  Buffer.add_string b (Printf.sprintf "%.17g" v)
 
-let kv_pattern b k p = kv_s b k (pattern_to_string p)
+(* The pattern codec's alphabet (dotted quads, ints, '*', '/', "tcp",
+   "p<n>") never needs JSON escaping, so it can stream field by field. *)
+let add_pattern b (p : Fkey.Pattern.t) =
+  let fld f v =
+    (match v with None -> Buffer.add_char b '*' | Some x -> f x)
+  in
+  let ip v = Buffer.add_string b (Ipv4.to_string v) in
+  let int v = Buffer.add_string b (string_of_int v) in
+  fld ip p.Fkey.Pattern.src_ip;
+  Buffer.add_char b '/';
+  fld ip p.dst_ip;
+  Buffer.add_char b '/';
+  fld int p.src_port;
+  Buffer.add_char b '/';
+  fld int p.dst_port;
+  Buffer.add_char b '/';
+  fld (fun pr -> Buffer.add_string b (proto_to_token pr)) p.proto;
+  Buffer.add_char b '/';
+  fld (fun t -> int (Tenant.to_int t)) p.tenant
+
+let kv_pattern b k p =
+  key b k;
+  Buffer.add_char b '"';
+  add_pattern b p;
+  Buffer.add_char b '"'
+
 let kv_tenant b k t = kv_i b k (Tenant.to_int t)
 let kv_ip b k ip = kv_s b k (Ipv4.to_string ip)
 
-let to_jsonl now event =
-  let b = Buffer.create 160 in
-  Buffer.add_string b
-    (Printf.sprintf "{\"t_ns\":%d,\"t\":%.9f" (Simtime.to_ns now)
-       (Simtime.to_sec now));
+let encode_into b now event =
+  Buffer.add_string b "{\"t_ns\":";
+  Buffer.add_string b (string_of_int (Simtime.to_ns now));
+  Buffer.add_string b ",\"t\":";
+  Buffer.add_string b (Printf.sprintf "%.9f" (Simtime.to_sec now));
   let ev name = kv_s b "ev" name in
   (match event with
   | Flow_promoted { pattern; tenant; vm_ip; server; score; tcam_entries } ->
@@ -291,7 +335,11 @@ let to_jsonl now event =
       kv_i b "dropped" dropped;
       kv_i b "exact" exact;
       kv_i b "megaflow" megaflow);
-  Buffer.add_char b '}';
+  Buffer.add_char b '}'
+
+let to_jsonl now event =
+  let b = Buffer.create 160 in
+  encode_into b now event;
   Buffer.contents b
 
 (* --- Flat JSON parsing (just enough for our own encoder's output) --- *)
@@ -557,14 +605,23 @@ type sink =
 let sink = ref Off
 let clock = ref (fun () -> Simtime.zero)
 let set_clock f = clock := f
+let now () = !clock ()
 let enabled () = match !sink with Off -> false | Jsonl _ | Callback _ -> true
+
+(* One scratch buffer shared by the JSONL sink (there is at most one
+   sink installed at a time): encoding an event reuses it instead of
+   allocating a fresh Buffer per event, so a traced run's per-event
+   garbage is just the payload strings the field writers build. *)
+let jsonl_scratch = Buffer.create 256
 
 let emit_to sink now event =
   match sink with
   | Off -> ()
   | Jsonl oc ->
-      output_string oc (to_jsonl now event);
-      output_char oc '\n'
+      Buffer.clear jsonl_scratch;
+      encode_into jsonl_scratch now event;
+      Buffer.add_char jsonl_scratch '\n';
+      Buffer.output_buffer oc jsonl_scratch
   | Callback f -> f now event
 
 let emit ?now event =
@@ -585,6 +642,10 @@ let use_tee f =
         f now event;
         emit_to prev now event)
 
+let disables = ref 0
+let disable_count () = !disables
+
 let disable () =
   (match !sink with Jsonl oc -> flush oc | Off | Callback _ -> ());
+  incr disables;
   sink := Off

@@ -202,11 +202,22 @@ val disable : unit -> unit
 (** Drop the sink (flushing a JSONL channel first); {!enabled} becomes
     false. *)
 
+val disable_count : unit -> int
+(** How many times {!disable} has run — a sink-chain epoch. A consumer
+    added with {!use_tee} stays in the chain exactly while {!enabled}
+    is true and this count has not moved, which is how {!Obs.Monitor}
+    answers "is a monitor attached right now". *)
+
 val set_clock : (unit -> Dcsim.Simtime.t) -> unit
 (** Register the running engine's clock for emission sites that have no
     engine handle of their own (the TCAM and VRF live below the
     engine). [Experiments.Testbed.create] registers each new testbed's
     engine automatically. *)
+
+val now : unit -> Dcsim.Simtime.t
+(** The registered clock's current sim time ({!Dcsim.Simtime.zero}
+    before any {!set_clock}). Always-on consumers that need a stamp but
+    have no engine handle (the {!Obs.Slo} goodput feed) read this. *)
 
 (** {1 Codec} *)
 
@@ -215,6 +226,12 @@ val to_jsonl : Dcsim.Simtime.t -> event -> string
     is carried as an exact nanosecond integer under ["t_ns"] plus a
     human-friendly ["t"] in seconds; the event constructor is under
     ["ev"]. *)
+
+val encode_into : Buffer.t -> Dcsim.Simtime.t -> event -> unit
+(** Append the {!to_jsonl} encoding of one event (no trailing newline)
+    to [b]. The JSONL sink and {!Obs.Flight} dumps reuse one buffer
+    across events through this, so encoding allocates only the payload
+    strings, never a fresh buffer per event. *)
 
 val of_jsonl : string -> (Dcsim.Simtime.t * event) option
 (** Inverse of {!to_jsonl}; [None] on malformed input. Round-trips

@@ -10,6 +10,23 @@ let m_forwarded = Obs.Metrics.counter "tor.forwarded"
 let m_acl_drops = Obs.Metrics.counter "tor.acl_drops"
 let m_no_route_drops = Obs.Metrics.counter "tor.no_route_drops"
 
+(* Path-labeled breakdown of [tor.forwarded]: which lane a forwarded
+   packet rode. Keys are the small fixed ranks below, rendered to
+   stable label values. *)
+let path_software = 0
+let path_express = 1
+let path_peer = 2
+
+let fam_forwarded =
+  Obs.Metrics.counter_family ~label:"path"
+    ~render:(fun k ->
+      if k = path_software then "software"
+      else if k = path_express then "express"
+      else "peer")
+    "tor.forwarded"
+
+let fam_acl_drops = Obs.Metrics.counter_family ~label:"tenant" "tor.acl_drops"
+
 type t = {
   engine : Engine.t;
   tor_ip : Netcore.Ipv4.t;
@@ -130,25 +147,28 @@ let drop_no_route t =
   t.no_route_drops <- t.no_route_drops + 1;
   Obs.Metrics.incr m_no_route_drops
 
-let note_forwarded t =
+let note_forwarded t path =
   t.forwarded <- t.forwarded + 1;
-  Obs.Metrics.incr m_forwarded
+  Obs.Metrics.incr m_forwarded;
+  Obs.Metrics.incr (Obs.Metrics.labeled_counter fam_forwarded path)
 
-let drop_acl t =
+let drop_acl t tenant =
   t.acl_drops <- t.acl_drops + 1;
-  Obs.Metrics.incr m_acl_drops
+  Obs.Metrics.incr m_acl_drops;
+  Obs.Metrics.incr
+    (Obs.Metrics.labeled_counter fam_acl_drops (Netcore.Tenant.to_int tenant))
 
 let to_server_vswitch t ~server_key ~queue pkt =
   match Hashtbl.find_opt t.servers server_key with
   | Some port ->
-      note_forwarded t;
+      note_forwarded t path_software;
       Qos_queue.enqueue port.vswitch_q ~queue pkt
   | None -> drop_no_route t
 
 let to_server_sriov t ~server_key ~queue pkt =
   match Hashtbl.find_opt t.servers server_key with
   | Some port ->
-      note_forwarded t;
+      note_forwarded t path_express;
       Qos_queue.enqueue port.sriov_q ~queue pkt
   | None -> drop_no_route t
 
@@ -159,7 +179,7 @@ let wire_frames payload =
 let forward_to_peer t ~tor_ip pkt =
   match Hashtbl.find_opt t.peers (ip_key tor_ip) with
   | Some forward ->
-      note_forwarded t;
+      note_forwarded t path_peer;
       forward pkt
   | None -> drop_no_route t
 
@@ -196,7 +216,7 @@ let handle_gre_rx t pkt ~key:tenant =
     | None -> drop_no_route t)
   else begin
   let vrf_table = vrf t tenant in
-  if not (Vrf.permits vrf_table flow) then drop_acl t
+  if not (Vrf.permits vrf_table flow) then drop_acl t tenant
   else begin
     let queue = Vrf.queue_for vrf_table flow in
     match vm_lookup t ~tenant ~dst_ip:flow.Fkey.dst_ip with
@@ -219,7 +239,7 @@ let handle_vlan_tx t pkt ~vlan =
       if not (Vrf.permits vrf_table flow) then
         (* Default deny: disallowed traffic injected via SR-IOV dies
            here (§4.1.3). *)
-        drop_acl t
+        drop_acl t tenant
       else begin
         Vswitch.Flow_stats.record t.offloaded_stats flow
           ~packets:(wire_frames pkt.Packet.payload)
@@ -239,7 +259,7 @@ let handle_vlan_tx t pkt ~vlan =
                    else begin
                      match Hashtbl.find_opt t.peers (ip_key ep.tor_ip) with
                      | Some forward ->
-                         note_forwarded t;
+                         note_forwarded t path_peer;
                          forward pkt
                      | None -> drop_no_route t
                    end))
@@ -258,7 +278,7 @@ let receive t pkt =
       else begin
         match Hashtbl.find_opt t.peers (ip_key tunnel_dst) with
         | Some forward ->
-            note_forwarded t;
+            note_forwarded t path_peer;
             forward pkt
         | None -> drop_no_route t
       end
@@ -271,7 +291,7 @@ let receive t pkt =
       | true, _ | false, None ->
           to_server_vswitch t ~server_key ~queue:0 pkt
       | false, Some up ->
-          note_forwarded t;
+          note_forwarded t path_peer;
           up pkt)
   | None -> (
       (* Plain packet (untunneled software path): route by VM location. *)

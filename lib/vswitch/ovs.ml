@@ -22,6 +22,19 @@ let m_security_drops = Obs.Metrics.counter "vswitch.security_drops"
 let m_upcalls = Obs.Metrics.counter "vswitch.upcalls"
 let m_kernel_hits = Obs.Metrics.counter "vswitch.kernel_hits"
 
+(* Per-tenant dimensional breakdowns of the flat counters above. A
+   series lookup is one int-keyed hash probe (no string building, no
+   allocation), so these stay on unconditionally like the flat
+   counters. [vswitch.rx_bytes] doubles as the SLO goodput feed. *)
+let fam_tx = Obs.Metrics.counter_family ~label:"tenant" "vswitch.tx_packets"
+let fam_rx = Obs.Metrics.counter_family ~label:"tenant" "vswitch.rx_packets"
+let fam_drops = Obs.Metrics.counter_family ~label:"tenant" "vswitch.drops"
+
+let fam_security_drops =
+  Obs.Metrics.counter_family ~label:"tenant" "vswitch.security_drops"
+
+let fam_rx_bytes = Obs.Metrics.counter_family ~label:"tenant" "vswitch.rx_bytes"
+
 type direction = Tx | Rx
 
 (* Sentinel for pooled packet arrays; never processed. Built literally
@@ -192,9 +205,10 @@ let vm_lookup t ~tenant ~ip =
 let is_blocked t flow = Fkey.Table.mem t.blocked flow
 
 let drop t pkt =
-  ignore pkt;
   t.packets_dropped <- t.packets_dropped + 1;
-  Obs.Metrics.incr m_drops
+  Obs.Metrics.incr m_drops;
+  Obs.Metrics.incr
+    (Obs.Metrics.labeled_counter fam_drops (pkt.Packet.flow.Fkey.tenant :> int))
 
 let add_vif t ~policy ~deliver =
   let engine = t.engine in
@@ -205,6 +219,8 @@ let add_vif t ~policy ~deliver =
     else begin
       t.packets_sent <- t.packets_sent + 1;
       Obs.Metrics.incr m_tx;
+      Obs.Metrics.incr
+        (Obs.Metrics.labeled_counter fam_tx (pkt.Packet.flow.Fkey.tenant :> int));
       t.transmit pkt
     end
   in
@@ -364,6 +380,9 @@ let apply_verdict t vif config verdict pkt direction =
   | Rules.Security_rule.Deny ->
       t.security_drops <- t.security_drops + 1;
       Obs.Metrics.incr m_security_drops;
+      Obs.Metrics.incr
+        (Obs.Metrics.labeled_counter fam_security_drops
+           (pkt.Packet.flow.Fkey.tenant :> int));
       drop t pkt
   | Rules.Security_rule.Allow -> (
       let flow = pkt.Packet.flow in
@@ -393,6 +412,12 @@ let apply_verdict t vif config verdict pkt direction =
       | Rx ->
           t.packets_received <- t.packets_received + 1;
           Obs.Metrics.incr m_rx;
+          let tenant = (flow.Fkey.tenant :> int) in
+          Obs.Metrics.incr (Obs.Metrics.labeled_counter fam_rx tenant);
+          Obs.Metrics.add
+            (Obs.Metrics.labeled_counter fam_rx_bytes tenant)
+            pkt.Packet.payload;
+          Obs.Slo.observe_goodput ~tenant pkt.Packet.payload;
           Shaping.Shaper.enqueue vif.rx_shaper pkt)
 
 (* A group's continuation has run: when the last one finishes, scrub

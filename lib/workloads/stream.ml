@@ -80,8 +80,9 @@ let rec fill_window t = if send_one t then fill_window t
 
 (* Delivery-progress heartbeats for the no_blackhole monitor: a
    periodic Flow_progress event carrying cumulative sent/acked bytes.
-   Only armed when tracing is live at start, so untraced runs schedule
-   nothing extra. *)
+   Only armed when a monitor is attached at start — a trace file or
+   flight recorder alone schedules nothing extra, so those runs stay
+   byte-identical to an unobserved run. *)
 let heartbeat_interval = Simtime.span_ms 100.0
 
 let flow_label flow =
@@ -92,7 +93,7 @@ let flow_label flow =
     flow.Fkey.dst_port
 
 let start_heartbeat t =
-  if Obs.Trace.enabled () then begin
+  if Obs.Monitor.attached () then begin
     let label = flow_label t.flow in
     Engine.every t.engine heartbeat_interval (fun () ->
         if t.running then begin

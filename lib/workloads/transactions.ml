@@ -77,6 +77,9 @@ module Client = struct
         let now = Engine.now t.engine in
         let latency_us = Simtime.span_to_us (Simtime.diff now sent_at) in
         Dcsim.Stats.Histogram.add t.latency latency_us;
+        Obs.Slo.observe_latency_us
+          ~tenant:(Netcore.Tenant.to_int (Host.Vm.tenant t.vm))
+          latency_us;
         t.completed <- t.completed + 1;
         t.window_completed <- t.window_completed + 1;
         (match t.config.total_requests with

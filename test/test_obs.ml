@@ -754,6 +754,377 @@ let test_registry_kinds_and_diff () =
   let csv = Metrics.to_csv (Metrics.snapshot ~registry ()) in
   checkb "csv has gauge row" true (contains csv "x.gauge,gauge,1,2.5")
 
+(* --- Flight recorder --- *)
+
+module Flight = Obs.Flight
+
+(* Distinct, recognisable events for ring-order assertions. *)
+let numbered_event i = Trace.Epoch_tick { me = "ring.me"; epoch = i; interval = 0 }
+
+let epoch_of = function
+  | Trace.Epoch_tick { epoch; _ } -> epoch
+  | _ -> Alcotest.fail "unexpected event shape in ring"
+
+let test_flight_wraparound () =
+  let ring = Flight.create ~capacity:4 () in
+  checki "empty ring" 0 (List.length (Flight.events ring));
+  for i = 1 to 10 do
+    Flight.record ring (Simtime.of_ns (i * 1000)) (numbered_event i)
+  done;
+  (* Overwrites the oldest: the survivors are 7..10, oldest first. *)
+  let got = List.map (fun (_, ev) -> epoch_of ev) (Flight.events ring) in
+  Alcotest.(check (list int)) "last capacity events, oldest first"
+    [ 7; 8; 9; 10 ] got;
+  List.iteri
+    (fun i (at, _) ->
+      checki (Printf.sprintf "stamp %d" i) ((7 + i) * 1000) (Simtime.to_ns at))
+    (Flight.events ring);
+  Alcotest.(check (list int)) "last n" [ 9; 10 ]
+    (List.map (fun (_, ev) -> epoch_of ev) (Flight.last ring 2));
+  Flight.clear ring;
+  checki "cleared" 0 (List.length (Flight.events ring))
+
+let test_flight_dump_is_valid_trace () =
+  let ring = Flight.create ~capacity:8 () in
+  List.iteri
+    (fun i ev -> Flight.record ring (Simtime.of_ns ((i + 1) * 777)) ev)
+    sample_events;
+  let path = Filename.temp_file "flight" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      let n = Flight.dump_jsonl ring oc in
+      close_out oc;
+      checki "dump count = ring size" (List.length (Flight.events ring)) n;
+      let ic = open_in path in
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> close_in ic);
+      let parsed = List.rev_map Trace.of_jsonl !lines in
+      checkb "every dumped line re-parses" true
+        (List.for_all Option.is_some parsed))
+
+(* Compact codec: deterministic round trip over the full constructor
+   catalogue... *)
+let test_flight_compact_round_trip () =
+  let ring = Flight.create ~capacity:64 () in
+  List.iteri
+    (fun i ev -> Flight.record ring (Simtime.of_ns ((i + 1) * 999_999)) ev)
+    sample_events;
+  match Flight.of_compact (Flight.to_compact ring) with
+  | None -> Alcotest.fail "compact snapshot did not decode"
+  | Some events ->
+      checki "entry count" (List.length (Flight.events ring))
+        (List.length events);
+      List.iter2
+        (fun (at, ev) (at', ev') ->
+          checkb "stamp round-trips" true (Simtime.equal at at');
+          checkb "event round-trips" true (ev = ev'))
+        (Flight.events ring) events
+
+(* ...and a property over randomised payloads: encode . decode = id
+   for every constructor with arbitrary ints (full zigzag-varint
+   range), strings, IPs, patterns and finite floats. *)
+let prop_flight_compact_round_trip =
+  let open QCheck2.Gen in
+  let gen_str = small_string ~gen:printable in
+  let gen_ip =
+    map2
+      (fun a b -> Ipv4.of_string (Printf.sprintf "10.%d.%d.%d" (a mod 250) (b mod 250) ((a + b) mod 250)))
+      small_nat small_nat
+  in
+  let gen_tenant = map (fun n -> Netcore.Tenant.of_int (1 + (n mod 1000))) small_nat in
+  let gen_float =
+    map (fun f -> if Float.is_nan f then 0.5 else f) float
+  in
+  let gen_proto =
+    oneof
+      [
+        return Fkey.Tcp;
+        return Fkey.Udp;
+        return Fkey.Icmp;
+        map (fun n -> Fkey.Other (n mod 200)) small_nat;
+      ]
+  in
+  let gen_pattern =
+    let* src_ip = option gen_ip in
+    let* dst_ip = option gen_ip in
+    let* src_port = option (int_range 0 65535) in
+    let* dst_port = option (int_range 0 65535) in
+    let* proto = option gen_proto in
+    let* tenant = option gen_tenant in
+    return { Fkey.Pattern.src_ip; dst_ip; src_port; dst_port; proto; tenant }
+  in
+  let gen_event =
+    oneof
+      [
+        (let* pattern = gen_pattern and* tenant = gen_tenant and* vm_ip = gen_ip
+         and* server = gen_str and* score = gen_float and* tcam_entries = int in
+         return (Trace.Flow_promoted { pattern; tenant; vm_ip; server; score; tcam_entries }));
+        (let* pattern = gen_pattern and* tenant = gen_tenant and* vm_ip = gen_ip
+         and* server = gen_str and* reason = gen_str in
+         return (Trace.Flow_demoted { pattern; tenant; vm_ip; server; reason }));
+        (let* tenant = gen_tenant and* entries = int and* used = int and* capacity = int in
+         return (Trace.Tcam_install { tenant; entries; used; capacity }));
+        (let* tenant = gen_tenant and* entries = int and* used = int and* capacity = int in
+         return (Trace.Tcam_evict { tenant; entries; used; capacity }));
+        (let* vm_ip = gen_ip
+         and* direction = oneof [ return Trace.Tx; return Trace.Rx ]
+         and* soft_bps = gen_float and* hard_bps = gen_float
+         and* total_bps = gen_float and* overflow_bps = gen_float in
+         return
+           (Trace.Fps_split
+              { vm_ip; direction; soft_bps; hard_bps; total_bps; overflow_bps }));
+        (let* vm_ip = gen_ip and* pattern = gen_pattern
+         and* path = oneof [ return Trace.Software; return Trace.Express ] in
+         return (Trace.Path_transition { vm_ip; pattern; path }));
+        (let* server = gen_str and* pattern = gen_pattern
+         and* push = oneof [ return `Offload; return `Demote ] and* seq = int in
+         return (Trace.Rule_pushed { server; pattern; push; seq }));
+        (let* me = gen_str and* epoch = int and* interval = int in
+         return (Trace.Epoch_tick { me; epoch; interval }));
+        (let* channel = gen_str in
+         return (Trace.Ctrl_drop { channel }));
+        (let* server = gen_str and* seq = int and* attempt = int and* span = int in
+         return (Trace.Ctrl_retry { server; seq; attempt; span }));
+        (let* server = gen_str and* alive = bool in
+         return (Trace.Peer_state { server; alive }));
+        (let* lane = gen_str and* up = bool in
+         return (Trace.Lane_state { lane; up }));
+        (let* tenant = gen_tenant and* kind = gen_str and* entries = int in
+         return (Trace.Tcam_error { tenant; kind; entries }));
+        (let* flow = gen_str and* sent = int and* acked = int in
+         return (Trace.Flow_progress { flow; sent; acked }));
+        (let* vm_ip = gen_ip
+         and* stage = oneof [ return `Prepare; return `Commit; return `Abort ] in
+         return (Trace.Migration_stage { vm_ip; stage }));
+        (let* span = int and* parent = int and* kind = gen_str
+         and* name = gen_str and* track = gen_str in
+         return (Trace.Span_begin { span; parent; kind; name; track }));
+        (let* span = int and* outcome = gen_str in
+         return (Trace.Span_end { span; outcome }));
+        (let* vif = gen_str and* flow = gen_pattern
+         and* tier = oneof [ return `Exact; return `Megaflow ]
+         and* cached = gen_str and* fresh = gen_str in
+         return (Trace.Cache_hit { vif; flow; tier; cached; fresh }));
+        (let* vif = gen_str and* flow = gen_pattern in
+         return (Trace.Cache_miss { vif; flow }));
+        (let* vif = gen_str and* reason = gen_str and* dropped = int
+         and* exact = int and* megaflow = int in
+         return (Trace.Cache_invalidate { vif; reason; dropped; exact; megaflow }));
+      ]
+  in
+  let gen =
+    QCheck2.Gen.(pair (small_list gen_event) (int_range 0 1_000_000_000))
+  in
+  QCheck2.Test.make ~name:"flight compact codec round-trips" ~count:300 gen
+    (fun (events, t0) ->
+      let ring = Flight.create ~capacity:(1 + List.length events) () in
+      List.iteri
+        (fun i ev -> Flight.record ring (Simtime.of_ns (t0 + (i * 17))) ev)
+        events;
+      match Flight.of_compact (Flight.to_compact ring) with
+      | None -> QCheck2.Test.fail_report "snapshot did not decode"
+      | Some decoded ->
+          decoded = Flight.events ring)
+
+let test_flight_compact_rejects_garbage () =
+  checkb "empty input" true (Flight.of_compact "" = None);
+  let ring = Flight.create ~capacity:4 () in
+  Flight.record ring (Simtime.of_ns 5) (numbered_event 1);
+  let ok = Flight.to_compact ring in
+  checkb "valid decodes" true (Flight.of_compact ok <> None);
+  let truncated = String.sub ok 0 (String.length ok - 1) in
+  checkb "truncation rejected" true (Flight.of_compact truncated = None);
+  checkb "trailing bytes rejected" true (Flight.of_compact (ok ^ "x") = None)
+
+(* Installed recorder: the tee records every emitted event, and a
+   monitor violation carries the last few as context. *)
+let test_flight_install_and_monitor_context () =
+  let ring = Flight.create ~capacity:16 () in
+  let mon = Obs.Monitor.create ~mode:Obs.Monitor.Warn () in
+  Obs.Monitor.attach mon;
+  (* After the monitor: the tee runs newest-first, so the ring already
+     holds the offending event when the monitor snapshots context. *)
+  Flight.install ring;
+  Fun.protect
+    ~finally:(fun () ->
+      Flight.uninstall ();
+      Trace.disable ())
+    (fun () ->
+      let now = Simtime.of_ns 1_000 in
+      Trace.emit ~now (numbered_event 1);
+      Trace.emit ~now (numbered_event 2);
+      (* Impossible TCAM occupancy: used > capacity trips tcam_capacity. *)
+      Trace.emit ~now
+        (Trace.Tcam_install { tenant; entries = 4; used = 99; capacity = 8 });
+      checki "ring saw every event" 3 (List.length (Flight.events ring));
+      match Obs.Monitor.violations mon with
+      | [ v ] ->
+          checkb "violation has context" true (v.Obs.Monitor.context <> []);
+          checkb "offending event in context" true
+            (List.exists
+               (fun (_, ev) ->
+                 match ev with Trace.Tcam_install _ -> true | _ -> false)
+               v.Obs.Monitor.context);
+          checkb "context renders" true
+            (String.length (Obs.Monitor.context_to_string v) > 0)
+      | vs -> Alcotest.fail (Printf.sprintf "expected 1 violation, got %d" (List.length vs)))
+
+(* The crash dump is deterministic: two identical fabric-chaos runs
+   freeze byte-identical compact snapshots at the scripted crash. *)
+let test_flight_crash_dump_deterministic () =
+  let saved = !Experiments.Fabric_chaos.schedule_spec in
+  let run_once () =
+    (* Span ids are allocated process-globally; restart them so both
+       runs label identical spans identically. *)
+    Obs.Span.reset ();
+    let ring = Flight.create ~capacity:256 () in
+    Flight.install ring;
+    Fun.protect
+      ~finally:(fun () ->
+        Flight.uninstall ();
+        Trace.disable ())
+      (fun () ->
+        Experiments.Fabric_chaos.schedule_spec := "none";
+        let cfg =
+          {
+            Experiments.Fabric_chaos.default_config with
+            Experiments.Fabric_chaos.racks = 2;
+            crash_at = 2.0;
+            restart_at = 2.3;
+          }
+        in
+        Experiments.Fabric_chaos.run ~config:cfg ())
+  in
+  Fun.protect
+    ~finally:(fun () -> Experiments.Fabric_chaos.schedule_spec := saved)
+    (fun () ->
+      let r1 = run_once () in
+      let r2 = run_once () in
+      match
+        (r1.Experiments.Fabric_chaos.crash_flight,
+         r2.Experiments.Fabric_chaos.crash_flight)
+      with
+      | Some c1, Some c2 ->
+          checkb "snapshots byte-identical" true (String.equal c1 c2);
+          (match Flight.of_compact c1 with
+          | Some events -> checkb "snapshot non-empty" true (events <> [])
+          | None -> Alcotest.fail "crash snapshot did not decode")
+      | _ -> Alcotest.fail "crash did not freeze a flight snapshot")
+
+(* --- Labeled metric families --- *)
+
+let test_labeled_cardinality_bound () =
+  let registry = Metrics.create () in
+  let fam =
+    Metrics.counter_family ~registry ~max_series:2 ~label:"tenant" "t.hits"
+  in
+  Metrics.incr (Metrics.labeled_counter fam 1);
+  Metrics.incr (Metrics.labeled_counter fam 2);
+  Metrics.incr (Metrics.labeled_counter fam 3);
+  Metrics.incr (Metrics.labeled_counter fam 4);
+  Metrics.incr (Metrics.labeled_counter fam 1);
+  let name_of k = Printf.sprintf "t.hits{tenant=\"%d\"}" k in
+  checkb "series 1" true (Metrics.find ~registry (name_of 1) = Some (Metrics.Counter_v 2));
+  checkb "series 2" true (Metrics.find ~registry (name_of 2) = Some (Metrics.Counter_v 1));
+  checkb "key 3 not its own series" true (Metrics.find ~registry (name_of 3) = None);
+  (* Keys beyond the bound share the overflow series. *)
+  checkb "overflow absorbs the rest" true
+    (Metrics.find ~registry "t.hits{tenant=\"__other__\"}"
+    = Some (Metrics.Counter_v 2));
+  Alcotest.(check (list (pair int int)))
+    "values exclude overflow" [ (1, 2); (2, 1) ]
+    (Metrics.labeled_counter_values fam);
+  checkb "family enumerable" true
+    (Metrics.family_names ~registry () = [ ("t.hits", "tenant") ])
+
+let test_labeled_escaping_and_reopen () =
+  let registry = Metrics.create () in
+  let fam =
+    Metrics.counter_family ~registry ~label:"name"
+      ~render:(fun _ -> "evil\"}\\x\ny")
+      "t.esc"
+  in
+  Metrics.incr (Metrics.labeled_counter fam 0);
+  let expected = "t.esc{name=\"evil\\\"\\}\\\\x\\ny\"}" in
+  checkb "hostile render escaped" true
+    (Metrics.find ~registry expected = Some (Metrics.Counter_v 1));
+  checks "base_name strips the label suffix" "t.esc" (Metrics.base_name expected);
+  checks "plain names pass through" "t.esc" (Metrics.base_name "t.esc");
+  (* Re-opening returns the same handle (shared key cache)... *)
+  let fam' =
+    Metrics.counter_family ~registry ~label:"name" ~render:string_of_int "t.esc"
+  in
+  Metrics.incr (Metrics.labeled_counter fam' 0);
+  checkb "shared series through both handles" true
+    (Metrics.find ~registry expected = Some (Metrics.Counter_v 2));
+  (* ...and a conflicting label is refused. *)
+  checkb "label mismatch refused" true
+    (try
+       ignore (Metrics.counter_family ~registry ~label:"other" "t.esc");
+       false
+     with Invalid_argument _ -> true)
+
+(* --- SLO scoreboard --- *)
+
+let test_slo_scoreboard_and_breach () =
+  let contains hay needle =
+    let lh = String.length hay and ln = String.length needle in
+    let rec go i =
+      i + ln <= lh && (String.sub hay i ln = needle || go (i + 1))
+    in
+    go 0
+  in
+  Obs.Slo.reset ();
+  let clock = ref Simtime.zero in
+  Trace.set_clock (fun () -> !clock);
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Slo.reset ();
+      Trace.set_clock (fun () -> Simtime.zero))
+    (fun () ->
+      (* Tenant 1: contracted 1 Mbit/s, delivers 2 Mbit over 1 s — a
+         2x overshoot, far beyond the +25% tolerance. *)
+      Obs.Slo.add_contract ~tenant:1 ~tx_bps:1e6 ();
+      clock := Simtime.of_sec 1.0;
+      Obs.Slo.observe_goodput ~tenant:1 125_000;
+      clock := Simtime.of_sec 2.0;
+      Obs.Slo.observe_goodput ~tenant:1 125_000;
+      (* Tenant 2: within contract, but misses its p99 target. *)
+      Obs.Slo.add_contract ~tenant:2 ~tx_bps:1e9 ~p99_us:100.0 ();
+      Obs.Slo.observe_goodput ~tenant:2 1000;
+      clock := Simtime.of_sec 3.0;
+      Obs.Slo.observe_goodput ~tenant:2 1000;
+      for _ = 1 to 100 do
+        Obs.Slo.observe_latency_us ~tenant:2 900.0
+      done;
+      match Obs.Slo.scoreboard () with
+      | [ r1; r2 ] ->
+          checki "tenant order" 1 r1.Obs.Slo.tenant;
+          checkb "rate breach flagged" true (not r1.Obs.Slo.rate_ok);
+          checkb "tenant 1 latency vacuously ok" true r1.Obs.Slo.latency_ok;
+          checkb "achieved ~2 Mbit/s" true
+            (Float.abs (r1.Obs.Slo.achieved_bps -. 2e6) < 1.0);
+          checkb "tenant 2 rate ok" true r2.Obs.Slo.rate_ok;
+          checkb "p99 breach flagged" true (not r2.Obs.Slo.latency_ok);
+          (* Breaches surface through a monitor as tenant_slo. *)
+          let mon = Obs.Monitor.create ~mode:Obs.Monitor.Warn () in
+          Obs.Slo.check mon ~at:!clock;
+          checki "one violation per breach" 2
+            (List.length (Obs.Monitor.violations mon));
+          checkb "report renders both verdicts" true
+            (let rep = Obs.Slo.report () in
+             contains rep "RATE BREACH" && contains rep "P99 BREACH")
+      | rows ->
+          Alcotest.fail
+            (Printf.sprintf "expected 2 scoreboard rows, got %d"
+               (List.length rows)))
+
 let suite =
   let t name f = Alcotest.test_case name `Quick f in
   [
@@ -776,4 +1147,14 @@ let suite =
     t "monitor clean on table4" test_monitor_clean_table4;
     t "export nesting and validation" test_export_nesting_and_validation;
     t "export live run round trips" test_export_of_live_run_round_trips;
+    t "flight ring wraparound" test_flight_wraparound;
+    t "flight dump is valid trace" test_flight_dump_is_valid_trace;
+    t "flight compact round trip" test_flight_compact_round_trip;
+    QCheck_alcotest.to_alcotest prop_flight_compact_round_trip;
+    t "flight compact rejects garbage" test_flight_compact_rejects_garbage;
+    t "flight install and monitor context" test_flight_install_and_monitor_context;
+    t "flight crash dump deterministic" test_flight_crash_dump_deterministic;
+    t "labeled cardinality bound" test_labeled_cardinality_bound;
+    t "labeled escaping and reopen" test_labeled_escaping_and_reopen;
+    t "slo scoreboard and breach" test_slo_scoreboard_and_breach;
   ]
