@@ -9,7 +9,7 @@
    "quick" skips the slowest reproductions.
 
    Scalability mode: dune exec bench/main.exe -- bench
-   [decision|measurement|eventqueue|obs|vswitch|hotpath|engine]*
+   [decision|measurement|eventqueue|obs|vswitch|hotpath|engine|workloads]*
    [--smoke] [--out-dir DIR]
    runs the named scenario groups (all of them when none are named) and
    writes one BENCH_<group>.json each; --smoke shrinks sizes so the
@@ -244,7 +244,7 @@ let run_bench_mode args =
     | [] ->
         [
           "decision"; "measurement"; "eventqueue"; "obs"; "vswitch"; "hotpath";
-          "engine";
+          "engine"; "workloads";
         ]
     | l -> l
   in
@@ -263,6 +263,7 @@ let run_bench_mode args =
         | "vswitch" -> Bench_scenarios.run_vswitch ~smoke
         | "hotpath" -> Bench_scenarios.run_hotpath ~smoke
         | "engine" -> Bench_scenarios.run_engine ~smoke
+        | "workloads" -> Bench_scenarios.run_workloads ~smoke
         | g -> failwith ("unknown bench group: " ^ g)
       in
       let path = Bench_scenarios.write_json ~bench:group ~out_dir results in

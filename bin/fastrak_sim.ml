@@ -40,10 +40,15 @@ let experiments =
       "Data-plane failure domains: express-lane outages, TCAM faults, \
        controller crash/restart; schedule from --faults, rack count \
        from --racks (default 4)" );
+    ( "soak",
+      "Production-shaped load soak: heavy-tailed flows, diurnal arrivals, \
+       incast, tenant churn across 2+ racks; shaped by --workload, \
+       --duration, --churn-rate, --racks (default 2)" );
   ]
 
 let dcscale_racks = ref 16
 let fabric_chaos_racks = ref Experiments.Fabric_chaos.default_config.racks
+let soak_config = ref Experiments.Soak.default_config
 
 let run_one = function
   | "fig3" ->
@@ -87,6 +92,8 @@ let run_one = function
       Printf.printf "  lookahead window: %.1f us\n"
         sharded.Experiments.Dcscale.lookahead_us;
       Experiments.Dcscale.print_comparison ~sharded ~single
+  | "soak" ->
+      Experiments.Soak.print (Experiments.Soak.run ~config:!soak_config ())
   | "fabric-chaos" ->
       let config =
         {
@@ -214,6 +221,45 @@ let run_cmd =
              is a full testbed on its own engine shard; rack 1 degenerates \
              to the classic single-engine loop.")
   in
+  let workload =
+    let parse s =
+      match Experiments.Soak.workload_of_string s with
+      | Some w -> Ok w
+      | None -> Error (`Msg (Printf.sprintf "invalid workload %S" s))
+    in
+    let print ppf w =
+      Format.pp_print_string ppf (Experiments.Soak.workload_to_string w)
+    in
+    Arg.(
+      value
+      & opt (some (conv (parse, print))) None
+      & info [ "workload" ] ~docv:"SHAPE"
+          ~doc:
+            "Traffic shape for the $(b,soak) experiment: $(b,mixed) \
+             (diurnal curve + on/off bursts + incast, the default), \
+             $(b,steady) (flat Poisson, sources always on), $(b,bursty) \
+             (aggressive on/off duty cycle) or $(b,incast-heavy) (frequent \
+             large fan-in bursts at the victim service).")
+  in
+  let duration =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "duration" ] ~docv:"SECONDS"
+          ~doc:
+            "Simulated seconds the $(b,soak) experiment runs (default \
+             5.0). Longer runs see more diurnal cycles and churn events.")
+  in
+  let churn_rate =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "churn-rate" ] ~docv:"RATE"
+          ~doc:
+            "Tenant churn events per second per rack for the $(b,soak) \
+             experiment (default 2.0); each departure/arrival pair is a \
+             two-phase VM migration. $(b,0) disables churn.")
+  in
   let flight_recorder =
     Arg.(
       value
@@ -265,8 +311,28 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const (fun scale trace faults metrics_out timeseries_out cache_capacity
-                 racks monitors flight_recorder tenant_report ids ->
+                 racks monitors workload duration churn_rate flight_recorder
+                 tenant_report ids ->
           Experiments.Memcached_eval.requests_scale := scale;
+          (match workload with
+          | None -> ()
+          | Some w ->
+              soak_config := { !soak_config with Experiments.Soak.workload = w });
+          (match duration with
+          | None -> ()
+          | Some d when d <= 0.0 ->
+              Printf.eprintf "fastrak_sim: --duration must be > 0\n";
+              Stdlib.exit 1
+          | Some d ->
+              soak_config := { !soak_config with Experiments.Soak.duration = d });
+          (match churn_rate with
+          | None -> ()
+          | Some c when c < 0.0 ->
+              Printf.eprintf "fastrak_sim: --churn-rate must be >= 0\n";
+              Stdlib.exit 1
+          | Some c ->
+              soak_config :=
+                { !soak_config with Experiments.Soak.churn_rate = c });
           (match racks with
           | None -> ()
           | Some n when n < 1 || n > 84 ->
@@ -274,7 +340,8 @@ let run_cmd =
               Stdlib.exit 1
           | Some n ->
               dcscale_racks := n;
-              fabric_chaos_racks := n);
+              fabric_chaos_racks := n;
+              soak_config := { !soak_config with Experiments.Soak.racks = n });
           (match cache_capacity with
           | None -> ()
           | Some n when n < 0 ->
@@ -403,7 +470,8 @@ let run_cmd =
               close_out oc
           | _ -> ())
       $ scale $ trace $ faults $ metrics_out $ timeseries_out $ cache_capacity
-      $ racks $ monitors $ flight_recorder $ tenant_report $ ids)
+      $ racks $ monitors $ workload $ duration $ churn_rate $ flight_recorder
+      $ tenant_report $ ids)
 
 let trace_export_cmd =
   let doc =

@@ -33,6 +33,10 @@ val pareto : t -> shape:float -> scale:float -> float
 val gaussian : t -> mu:float -> sigma:float -> float
 (** Normal draw via Box–Muller. *)
 
+val lognormal : t -> mu:float -> sigma:float -> float
+(** Log-normal draw: [exp] of a normal with the given log-space
+    parameters. Mean of the distribution is [exp (mu + sigma^2/2)]. *)
+
 val shuffle : t -> 'a array -> unit
 (** In-place Fisher–Yates shuffle. *)
 

@@ -656,6 +656,167 @@ let run_hotpath ~smoke =
     hotpath_rule_cache ~smoke;
   ]
 
+(* --- workload generator --- *)
+
+(* A standalone source VM whose egress discards: the scenarios price
+   the generator's own work (port allocation, size draw, packet
+   construction, pacing events), not the vswitch datapath — the
+   hotpath group already prices that. *)
+let loadgen_vm ~engine ~name ~octet =
+  Host.Vm.create ~engine ~name ~vcpus:2 ~tenant
+    ~ip:(Ipv4.of_octets 10 7 9 octet)
+    ~mac:(Netcore.Mac.of_int (0x9000 + octet))
+
+(* Launch-to-completion cost of one generated flow: every flow is a
+   single message, and the engine drains between batches so ports
+   recycle and the queue never grows across runs. ops_per_sec is the
+   flows/sec the generator sustains. *)
+let loadgen_launch_case ~smoke =
+  let engine = Engine.create ~seed:7 () in
+  let vm = loadgen_vm ~engine ~name:"bench.gen" ~octet:1 in
+  let config =
+    {
+      Workloads.Flowgen.default_config with
+      Workloads.Flowgen.mean_flow_bytes = 1448.0;
+      message_gap = Simtime.span_us 1.0;
+    }
+  in
+  let fg =
+    Workloads.Flowgen.create ~engine ~vm ~dst_ip:(Ipv4.of_octets 10 7 9 99)
+      ~dst_port_base:30000 config
+  in
+  let n = if smoke then 2_000 else 20_000 in
+  let run () =
+    for _ = 1 to n do
+      Workloads.Flowgen.launch fg
+    done;
+    Engine.run engine
+  in
+  let min_time = if smoke then 0.02 else 0.2 in
+  let timed = time_runs ~min_time run in
+  mk_result ~scenario:"loadgen/flow-launch" ~unit_:"flow"
+    ~params:
+      [
+        ("flows_per_run", float_of_int n);
+        ("message_bytes", 1448.0);
+      ]
+    ~ops:n timed
+
+(* Concurrency scaling: pile up live flows (long pacing gaps, nothing
+   completes) and show the generator's own state is flat — the same
+   port bitset at quarter fill and at full fill. *)
+let loadgen_live_case ~smoke =
+  let per_gen = if smoke then 2_000 else 55_000 in
+  let words_quarter = ref 0 and words_full = ref 0 and live = ref 0 in
+  let build_and_fill () =
+    let engine = Engine.create ~seed:7 () in
+    let mk i =
+      let vm =
+        loadgen_vm ~engine ~name:(Printf.sprintf "bench.live%d" i) ~octet:(2 + i)
+      in
+      Workloads.Flowgen.create ~engine ~vm ~dst_ip:(Ipv4.of_octets 10 7 9 99)
+        ~dst_port_base:30000
+        {
+          Workloads.Flowgen.default_config with
+          (* Multi-message flows with hour-long gaps: all stay live. *)
+          Workloads.Flowgen.mean_flow_bytes = 10.0 *. 1448.0;
+          message_gap = Simtime.span_sec 3600.0;
+        }
+    in
+    let gens = [| mk 0; mk 1 |] in
+    let state_words () =
+      Array.fold_left
+        (fun acc g -> acc + Workloads.Flowgen.state_words g)
+        0 gens
+    in
+    for i = 1 to per_gen do
+      Array.iter Workloads.Flowgen.launch gens;
+      if i = per_gen / 4 then words_quarter := state_words ()
+    done;
+    words_full := state_words ();
+    live :=
+      Array.fold_left (fun acc g -> acc + Workloads.Flowgen.live_flows g) 0 gens
+  in
+  let min_time = if smoke then 0.0 else 0.1 in
+  let min_runs = 1 in
+  let timed = time_runs ~min_time ~min_runs build_and_fill in
+  mk_result
+    ~scenario:(Printf.sprintf "loadgen/%dk-live" (2 * per_gen / 1000))
+    ~unit_:"flow"
+    ~params:
+      [
+        ("live_flows", float_of_int !live);
+        ("state_words_quarter_fill", float_of_int !words_quarter);
+        ("state_words_full_fill", float_of_int !words_full);
+      ]
+    ~ops:(2 * per_gen) timed
+
+(* One tenant churn event: a two-phase departure (demote + detach
+   profile + abort timer) immediately committed to a new server, then
+   the engine drains the timer bookkeeping. *)
+let loadgen_churn_case ~smoke =
+  let engine = Engine.create ~seed:7 () in
+  let tb = Testbed.create ~engine ~server_count:2 () in
+  let attached =
+    Testbed.add_vm tb
+      (Testbed.vm_spec ~server:0 ~name:"bench.churn" ~ip_last_octet:1 ())
+  in
+  let rm =
+    Fastrak.Rule_manager.create ~engine ~config:Fastrak.Config.default
+      ~tor:tb.Testbed.tor
+      ~servers:(Array.to_list tb.Testbed.servers)
+      ()
+  in
+  let vm_ip = Host.Vm.ip attached.Host.Server.vm in
+  let vm_tenant = Host.Vm.tenant attached.Host.Server.vm in
+  let servers = tb.Testbed.servers in
+  let cursor = ref 0 in
+  let n = if smoke then 200 else 2_000 in
+  let run () =
+    for _ = 1 to n do
+      let mg =
+        Fastrak.Rule_manager.begin_vm_migration rm ~tenant:vm_tenant ~vm_ip
+      in
+      let i = !cursor in
+      cursor := (i + 1) mod Array.length servers;
+      ignore
+        (Fastrak.Rule_manager.commit_vm_migration rm mg
+           ~new_server:(Host.Server.name servers.(i)))
+    done;
+    Engine.run engine
+  in
+  let min_time = if smoke then 0.02 else 0.2 in
+  let timed = time_runs ~min_time run in
+  mk_result ~scenario:"loadgen/churn-event" ~unit_:"migration"
+    ~params:[ ("events_per_run", float_of_int n) ]
+    ~ops:n timed
+
+(* The diurnal curve sample on the arrival hot path: a sin and a
+   couple of float ops, allocation-free. *)
+let loadgen_curve_case ~smoke =
+  let n = if smoke then 100_000 else 1_000_000 in
+  let curve = Workloads.Loadgen.Sinusoid { trough = 0.3 } in
+  let run () =
+    for i = 1 to n do
+      ignore
+        (Workloads.Loadgen.curve_multiplier curve
+           ~frac:(float_of_int i /. float_of_int n))
+    done
+  in
+  let min_time = if smoke then 0.02 else 0.2 in
+  let timed = time_runs ~min_time run in
+  mk_result ~scenario:"loadgen/curve-sample" ~unit_:"sample"
+    ~params:[ ("samples_per_run", float_of_int n) ]
+    ~ops:n timed
+
+let run_workloads ~smoke =
+  [
+    loadgen_launch_case ~smoke;
+    loadgen_live_case ~smoke;
+    loadgen_churn_case ~smoke;
+    loadgen_curve_case ~smoke;
+  ]
+
 (* --- allocation regression gate (@alloc-check) ---
 
    Allocation counts are deterministic, so smoke sizes suffice. The
@@ -664,7 +825,10 @@ let run_hotpath ~smoke =
    per-run op count is well under 0.05 words/op — any real per-op
    allocation (one [Some], one tuple) costs >= 2 whole words. The
    decide bar is 10% of the committed pre-PR BENCH_decision.json
-   number (682978.0 words/call at decide/10000c-2000o). *)
+   number (682978.0 words/call at decide/10000c-2000o). The loadgen
+   bars price a whole flow launch (packet records, pacing closures)
+   and a whole churn event (two-phase migration bookkeeping) — both
+   measured at the smoke sizes plus ~30% headroom. *)
 
 let alloc_check () =
   let zero_bar = 0.05 in
@@ -682,6 +846,13 @@ let alloc_check () =
          both be allocation-free. *)
       ("flight-record", zero_bar);
       ("labeled-counter-incr", zero_bar);
+      (* A flow launch allocates the packet record, the flow-key, and
+         the pacing closure; a churn event the two-phase migration
+         records and the abort timer. Measured ~121 and ~75 words. *)
+      ("loadgen/flow-launch", 160.0);
+      ("loadgen/churn-event", 100.0);
+      (* One boxed float argument + result across the module boundary. *)
+      ("loadgen/curve-sample", 6.0);
     ]
   in
   let results =
@@ -691,6 +862,9 @@ let alloc_check () =
           ~offloaded:2_000;
         obs_flight_case ~smoke:true;
         obs_labeled_case ~smoke:true;
+        loadgen_launch_case ~smoke:true;
+        loadgen_churn_case ~smoke:true;
+        loadgen_curve_case ~smoke:true;
       ]
   in
   List.filter_map

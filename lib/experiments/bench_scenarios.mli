@@ -64,6 +64,16 @@ val run_hotpath : smoke:bool -> result list
     must report [minor_words_per_op = 0.0]; {!alloc_check} enforces
     this. *)
 
+val run_workloads : smoke:bool -> result list
+(** Load-generator benchmarks: [loadgen/flow-launch] (flows launched
+    and drained through a discarding VM, flows/sec plus minor
+    words/launch), [loadgen/<N>k-live] (two generators filled to ~110k
+    concurrent flows — params record {!Workloads.Flowgen.state_words}
+    at quarter and full fill, the flat-memory evidence),
+    [loadgen/churn-event] (two-phase begin+commit VM migration per
+    op), and [loadgen/curve-sample] (diurnal curve evaluation).
+    Writes [BENCH_workloads.json] via {!write_json}. *)
+
 val alloc_check : unit -> (result * float * bool) list
 (** Run the allocation regression gate (smoke sizes — allocation
     counts are deterministic): each entry is (result, budget in minor

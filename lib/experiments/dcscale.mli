@@ -55,6 +55,21 @@ type result = {
   events_per_sec : float;  (** [events / cpu_s]. *)
 }
 
+val pin_direction :
+  src_tb:Testbed.t ->
+  dst_tb:Testbed.t ->
+  Host.Server.attached ->
+  Host.Server.attached ->
+  unit
+(** Statically pin the a -> b direction of a cross-rack express lane:
+    GRE tunnel mapping in a's policy, the compiled most-specific rule
+    in both ToR VRFs, the flow-placer rule steering a's traffic for b
+    onto the VF, and b's address on the destination ToR pointed at the
+    SR-IOV port. Shared with {!Soak}, which pins the same lanes under
+    production-shaped load.
+    @raise Invalid_argument if b is not placed in [dst_tb] or a TCAM
+    fills. *)
+
 val run : ?config:config -> unit -> result
 (** Build the datacenter and run it for [duration] simulated seconds.
     @raise Invalid_argument on a config outside the address plan. *)

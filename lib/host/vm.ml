@@ -37,6 +37,7 @@ let create ~engine ~name ~vcpus ~tenant ~ip ~mac =
   }
 
 let name t = t.vm_name
+let engine t = t.engine
 let tenant t = t.tenant
 let ip t = t.ip
 let mac t = t.mac

@@ -22,6 +22,7 @@ val create :
     kernel"). *)
 
 val name : t -> string
+val engine : t -> Dcsim.Engine.t
 val tenant : t -> Netcore.Tenant.id
 val ip : t -> Netcore.Ipv4.t
 val mac : t -> Netcore.Mac.t

@@ -6,6 +6,7 @@ type encap =
 type l4 =
   | Plain
   | Tcp_seg of { seq : int; ack : int; len : int; flags : tcp_flags }
+  | App of { fin : bool; count : int }
 
 and tcp_flags = { syn : bool; fin : bool; is_ack : bool }
 
@@ -47,7 +48,9 @@ let encap_size = function
   | Vxlan _ -> (Hdr.ethernet - 4) + Hdr.ipv4 + Hdr.vxlan
 
 let wire_size t =
-  let l4_hdr = match t.l4 with Plain -> Hdr.udp | Tcp_seg _ -> Hdr.tcp in
+  let l4_hdr =
+    match t.l4 with Plain | App _ -> Hdr.udp | Tcp_seg _ -> Hdr.tcp
+  in
   let base = Hdr.ethernet + Hdr.ipv4 + l4_hdr + t.payload in
   List.fold_left (fun acc e -> acc + encap_size e) base t.encaps
 

@@ -16,6 +16,11 @@ type encap =
 type l4 =
   | Plain  (** Payload with no transport semantics (UDP-ish). *)
   | Tcp_seg of { seq : int; ack : int; len : int; flags : tcp_flags }
+  | App of { fin : bool; count : int }
+      (** Application-level framing riding on a plain datagram: a
+          cumulative message [count] and an end-of-transfer marker.
+          Same wire size as [Plain] — it models bytes already inside
+          the payload, not an extra header. *)
 
 and tcp_flags = { syn : bool; fin : bool; is_ack : bool }
 

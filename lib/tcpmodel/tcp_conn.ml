@@ -210,7 +210,7 @@ let update_rtt t ~ack ~now =
 
 let deliver_to_sender t pkt =
   match pkt.Packet.l4 with
-  | Packet.Plain -> ()
+  | Packet.Plain | Packet.App _ -> ()
   | Packet.Tcp_seg { ack; _ } ->
       let now = Engine.now t.engine in
       if ack > t.snd_una then begin
@@ -327,7 +327,7 @@ let advance_rcv_nxt t =
 
 let deliver_to_receiver t pkt =
   match pkt.Packet.l4 with
-  | Packet.Plain -> ()
+  | Packet.Plain | Packet.App _ -> ()
   | Packet.Tcp_seg { seq; len; _ } ->
       t.segments_received <- t.segments_received + 1;
       let stop = seq + len in

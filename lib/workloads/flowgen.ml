@@ -11,6 +11,7 @@ type config = {
   hot_services : int;
   cold_services : int;
   message_size : int;
+  message_gap : Simtime.span;
 }
 
 let default_config =
@@ -22,6 +23,7 @@ let default_config =
     hot_services = 4;
     cold_services = 64;
     message_size = 1448;
+    message_gap = Simtime.span_us 100.0;
   }
 
 type t = {
@@ -31,9 +33,11 @@ type t = {
   dst_port_base : int;
   config : config;
   rng : Dcsim.Rng.t;
+  ports : Portspace.t;
   mutable flows_started : int;
+  mutable flows_completed : int;
+  mutable flows_skipped : int;
   mutable bytes_offered : int;
-  mutable next_src_port : int;
   mutable running : bool;
 }
 
@@ -44,16 +48,15 @@ let install_sinks ~vm ~dst_port_base config =
 
 (* A flow is a paced sequence of messages; pacing keeps the generator
    open-loop (no feedback), which is what an arrival-driven scale test
-   wants. *)
-let launch_flow t ~dst_port ~size_bytes =
+   wants. The source port is held until the last message has been
+   handed to the guest stack, so no two live flows share an Fkey. *)
+let launch_flow t ~src_port ~dst_port ~size_bytes =
   let flow =
-    Fkey.make ~src_ip:(Host.Vm.ip t.vm) ~dst_ip:t.dst_ip
-      ~src_port:t.next_src_port ~dst_port ~proto:Fkey.Tcp
-      ~tenant:(Host.Vm.tenant t.vm)
+    Fkey.make ~src_ip:(Host.Vm.ip t.vm) ~dst_ip:t.dst_ip ~src_port ~dst_port
+      ~proto:Fkey.Tcp ~tenant:(Host.Vm.tenant t.vm)
   in
-  t.next_src_port <- 47000 + ((t.next_src_port - 47000 + 1) mod 10_000);
   let messages = Stdlib.max 1 (size_bytes / t.config.message_size) in
-  let gap = Simtime.span_us 100.0 in
+  let gap = t.config.message_gap in
   let rec send_remaining remaining =
     if remaining > 0 && t.running then begin
       let pkt =
@@ -63,48 +66,71 @@ let launch_flow t ~dst_port ~size_bytes =
       Host.Vm.send t.vm pkt;
       ignore (Engine.after t.engine gap (fun () -> send_remaining (remaining - 1)))
     end
+    else begin
+      Portspace.release t.ports src_port;
+      if remaining = 0 then t.flows_completed <- t.flows_completed + 1
+    end
   in
   send_remaining messages
 
-let start ~engine ~vm ~dst_ip ~dst_port_base config =
-  let t =
-    {
-      engine;
-      vm;
-      dst_ip;
-      dst_port_base;
-      config;
-      rng = Dcsim.Rng.split (Engine.rng engine) ("flowgen." ^ Host.Vm.name vm);
-      flows_started = 0;
-      bytes_offered = 0;
-      next_src_port = 47000;
-      running = true;
-    }
+let launch_to t ~dst_port ~size_bytes =
+  if t.running then begin
+    match Portspace.alloc t.ports with
+    | None ->
+        (* Every ephemeral port is held by a live flow: shed the
+           arrival rather than alias one. *)
+        t.flows_skipped <- t.flows_skipped + 1
+    | Some src_port ->
+        t.flows_started <- t.flows_started + 1;
+        t.bytes_offered <- t.bytes_offered + size_bytes;
+        launch_flow t ~src_port ~dst_port ~size_bytes
+  end
+
+let draw_size t =
+  let scale =
+    t.config.mean_flow_bytes
+    *. (t.config.pareto_shape -. 1.0)
+    /. t.config.pareto_shape
   in
+  int_of_float (Dcsim.Rng.pareto t.rng ~shape:t.config.pareto_shape ~scale)
+
+let launch t =
+  if t.running then begin
+    let hot = Dcsim.Rng.float t.rng 1.0 < t.config.hot_fraction in
+    let dst_port =
+      if hot then t.dst_port_base + Dcsim.Rng.int t.rng t.config.hot_services
+      else
+        t.dst_port_base + t.config.hot_services
+        + Dcsim.Rng.int t.rng (Stdlib.max 1 t.config.cold_services)
+    in
+    launch_to t ~dst_port ~size_bytes:(draw_size t)
+  end
+
+let create ~engine ~vm ~dst_ip ~dst_port_base config =
+  {
+    engine;
+    vm;
+    dst_ip;
+    dst_port_base;
+    config;
+    rng = Dcsim.Rng.split (Engine.rng engine) ("flowgen." ^ Host.Vm.name vm);
+    ports = Portspace.create ();
+    flows_started = 0;
+    flows_completed = 0;
+    flows_skipped = 0;
+    bytes_offered = 0;
+    running = true;
+  }
+
+let start ~engine ~vm ~dst_ip ~dst_port_base config =
+  let t = create ~engine ~vm ~dst_ip ~dst_port_base config in
   let rec arrival () =
     if t.running then begin
       let gap_sec = Dcsim.Rng.exponential t.rng ~mean:(1.0 /. config.arrival_rate) in
       ignore
         (Engine.after engine (Simtime.span_sec gap_sec) (fun () ->
              if t.running then begin
-               let hot = Dcsim.Rng.float t.rng 1.0 < config.hot_fraction in
-               let dst_port =
-                 if hot then dst_port_base + Dcsim.Rng.int t.rng config.hot_services
-                 else
-                   dst_port_base + config.hot_services
-                   + Dcsim.Rng.int t.rng (Stdlib.max 1 config.cold_services)
-               in
-               let scale =
-                 config.mean_flow_bytes *. (config.pareto_shape -. 1.0)
-                 /. config.pareto_shape
-               in
-               let size =
-                 int_of_float
-                   (Dcsim.Rng.pareto t.rng ~shape:config.pareto_shape ~scale)
-               in
-               t.flows_started <- t.flows_started + 1;
-               t.bytes_offered <- t.bytes_offered + size;
-               launch_flow t ~dst_port ~size_bytes:size;
+               launch t;
                arrival ()
              end))
     end
@@ -112,6 +138,10 @@ let start ~engine ~vm ~dst_ip ~dst_port_base config =
   arrival ();
   t
 
+let state_words t = Obj.reachable_words (Obj.repr t.ports)
 let flows_started t = t.flows_started
+let flows_completed t = t.flows_completed
+let flows_skipped t = t.flows_skipped
+let live_flows t = Portspace.in_use t.ports
 let bytes_offered t = t.bytes_offered
 let stop t = t.running <- false

@@ -41,22 +41,38 @@ type t = {
   mutable running : bool;
 }
 
-(* Sink bookkeeping is per (vm, port): a message counter per flow. *)
+(* Sink bookkeeping is per (vm, port): a message counter per flow.
+   Acks are cumulative — they carry the highest message count covered —
+   so a duplicate or stale ack can never over-credit the sender, and
+   the fin-marked last message of a finite transfer is acked
+   immediately even when the message count is not a multiple of
+   [ack_every]. *)
 let install_sink ?(ack_every = 4) ~vm ~port () =
   let counters : int Fkey.Table.t = Fkey.Table.create 16 in
+  let engine = Host.Vm.engine vm in
   Host.Vm.register_listener vm ~port (fun pkt ->
       let flow = pkt.Packet.flow in
       let seen = Option.value (Fkey.Table.find_opt counters flow) ~default:0 in
       let seen = seen + 1 in
       Fkey.Table.replace counters flow seen;
-      (* Credit ack every few messages: delayed acks + GRO batching. *)
-      if seen mod ack_every = 0 then begin
+      let fin, count =
+        match pkt.Packet.l4 with
+        | Packet.App { fin; count } -> (fin, Stdlib.max count seen)
+        | _ -> (false, seen)
+      in
+      (* Credit ack every few messages: delayed acks + GRO batching —
+         plus a flush of the tail when the transfer ends. *)
+      if fin || seen mod ack_every = 0 then begin
         let ack =
-          Packet.create ~now:Simtime.zero ~flow:(Fkey.reverse flow)
-            ~payload:ack_payload ~bulk:true ()
+          Packet.create
+            ~now:(Engine.now engine)
+            ~flow:(Fkey.reverse flow) ~payload:ack_payload
+            ~l4:(Packet.App { fin; count })
+            ~bulk:true ()
         in
         Host.Vm.send vm ack
-      end)
+      end;
+      if fin then Fkey.Table.remove counters flow)
 
 let budget_left t =
   match t.config.total_bytes with
@@ -67,9 +83,15 @@ let send_one t =
   if t.running && budget_left t && t.in_flight < t.config.window then begin
     t.in_flight <- t.in_flight + 1;
     t.bytes_sent <- t.bytes_sent + t.config.message_size;
+    let count = t.bytes_sent / t.config.message_size in
+    (* The last message of a finite transfer carries fin so the sink
+       flushes its delayed ack and the tail is always credited. *)
+    let fin = not (budget_left t) in
     let pkt =
       Packet.create ~now:(Engine.now t.engine) ~flow:t.flow
-        ~payload:t.config.message_size ~bulk:true ()
+        ~payload:t.config.message_size
+        ~l4:(Packet.App { fin; count })
+        ~bulk:true ()
     in
     Host.Vm.send t.vm pkt;
     true
@@ -97,7 +119,10 @@ let start_heartbeat t =
     let label = flow_label t.flow in
     Engine.every t.engine heartbeat_interval (fun () ->
         if t.running then begin
-          if Obs.Trace.enabled () then
+          (* Emit whenever a monitor is listening, even if no trace
+             sink is installed — no_blackhole must never watch a
+             silent stream. *)
+          if Obs.Monitor.attached () || Obs.Trace.enabled () then
             Obs.Trace.emit ~now:(Engine.now t.engine)
               (Obs.Trace.Flow_progress
                  { flow = label; sent = t.bytes_sent; acked = t.bytes_acked });
@@ -126,11 +151,25 @@ let start ~engine ~vm config =
       running = true;
     }
   in
-  Host.Vm.register_flow_handler vm (Fkey.reverse flow) (fun _ack ->
-      let credited = t.config.ack_every * t.config.message_size in
-      t.bytes_acked <- t.bytes_acked + credited;
-      t.window_acked <- t.window_acked + credited;
-      t.in_flight <- Stdlib.max 0 (t.in_flight - t.config.ack_every);
+  Host.Vm.register_flow_handler vm (Fkey.reverse flow) (fun ack ->
+      (* Acks are cumulative: credit up to the covered byte count,
+         clamped to what was actually sent, and never backwards — a
+         stale or duplicated ack cannot push bytes_acked past
+         bytes_sent or double-credit the window. *)
+      let acked =
+        match ack.Packet.l4 with
+        | Packet.App { count; _ } ->
+            Stdlib.min (count * t.config.message_size) t.bytes_sent
+        | _ ->
+            Stdlib.min
+              (t.bytes_acked + (t.config.ack_every * t.config.message_size))
+              t.bytes_sent
+      in
+      if acked > t.bytes_acked then begin
+        t.window_acked <- t.window_acked + (acked - t.bytes_acked);
+        t.bytes_acked <- acked;
+        t.in_flight <- (t.bytes_sent - t.bytes_acked) / t.config.message_size
+      end;
       match t.config.paced_rate_bps with
       | None -> fill_window t
       | Some _ -> () (* the pacing clock drives sends *));
